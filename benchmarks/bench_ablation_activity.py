@@ -1,0 +1,35 @@
+"""Bench X12 — control switching activity (dynamic-energy proxy).
+
+Extension: the telescopic-unit line of work is low-power research, so
+the controller comparison should show the energy side too.  Counting
+control-signal toggles per steady-state iteration (the first-order
+dynamic-energy proxy): the distributed unit toggles *more* control
+signals than the synchronized one — completion wires and independent
+operand re-fetches are not free — but finishes each iteration in fewer
+cycles.  The honest summary: DIST trades control energy (and area) for
+time, exactly the overhead §5 of the paper concedes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_activity
+
+
+def test_switching_activity(benchmark):
+    results = run_once(
+        benchmark, lambda: [run_activity(n) for n in ("diffeq", "fir5")]
+    )
+    print()
+    for result in results:
+        print(result.render())
+    for result in results:
+        # DIST is faster per iteration...
+        assert (
+            result.dist_cycles_per_iteration
+            < result.sync_cycles_per_iteration
+        )
+        # ... and pays for it in control switching.
+        assert (
+            result.dist_toggles_per_iteration
+            >= result.sync_toggles_per_iteration
+        )

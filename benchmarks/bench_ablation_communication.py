@@ -1,0 +1,38 @@
+"""Bench X11 — chain-assignment objectives (the §5 wiring lever).
+
+Extension: the paper names "communication signal overhead caused by the
+distribution of a control unit" as DIST's cost.  Chain assignment is the
+lever: pulling data-dependent operations onto one unit turns completion
+wires (and their arrival latches) into implicit chain order.  The bench
+compares the latency-first and communication-first assignments; on the
+FDCT workload the communication objective removes arrival latches at
+zero latency cost, while on the paper's small benchmarks the default
+deal is already communication-optimal.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_communication_binding
+
+
+def test_communication_binding(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: [
+            run_communication_binding(name)
+            for name in ("diffeq", "ar_lattice", "fdct")
+        ],
+    )
+    print()
+    for result in results:
+        print(result.render())
+    for result in results:
+        rows = {obj: (w, l, c, s) for obj, w, l, c, s in result.rows}
+        lat = rows["latency"]
+        com = rows["communication"]
+        assert com[1] <= lat[1]  # never more latches
+        assert com[2] >= lat[2] - 1e-9  # may cost latency, tracked
+    fdct_rows = {
+        obj: (w, l, c, s) for obj, w, l, c, s in results[2].rows
+    }
+    assert fdct_rows["communication"][1] < fdct_rows["latency"][1]

@@ -1,0 +1,21 @@
+"""Bench X5 — what P does a real CSG achieve?
+
+Extension grounding the paper's Bernoulli(P) parameter: synthesize a safe
+completion-signal generator for an 8-bit array multiplier and measure the
+fast-group fraction on several operand distributions.  Expected shape:
+uniform operands give a moderate P; DSP-like small/sparse operands push P
+toward 1 — the regime where Table 2's 0.9 column applies.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_csg_sweep
+
+
+def test_csg_achieved_p(benchmark):
+    result = run_once(benchmark, run_csg_sweep, 8)
+    print()
+    print(result.render())
+    rows = dict(result.rows)
+    assert rows["small4"] >= rows["uniform"]
+    assert rows["sparse2"] >= rows["uniform"]

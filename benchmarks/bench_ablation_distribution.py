@@ -1,0 +1,28 @@
+"""Bench X7 — exact latency distributions and stochastic dominance.
+
+Extension: Table 2 compares expectations; real-time budgets care about
+tails.  This bench computes the *exact* latency PMF of both controller
+schemes (exhaustive Bernoulli enumeration) and verifies first-order
+stochastic dominance — at every cycle budget the distributed unit meets
+the deadline with at least the synchronized unit's probability — plus the
+P99 budget gap.
+"""
+
+from conftest import run_once
+
+from repro.analysis import compare_distributions
+from repro.experiments import synthesize_benchmark
+
+
+def _run(benchmark_name: str, p: float):
+    result = synthesize_benchmark(benchmark_name, scheduler="exact")
+    return compare_distributions(result.bound, result.taubm, p=p)
+
+
+def test_latency_distribution_dominance(benchmark):
+    comparison = run_once(benchmark, _run, "fir5", 0.7)
+    print()
+    print(comparison.render())
+    assert comparison.stochastic_dominance_holds()
+    assert comparison.dist.quantile(0.99) <= comparison.sync.quantile(0.99)
+    assert comparison.dist.mean() <= comparison.sync.mean()

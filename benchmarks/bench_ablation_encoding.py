@@ -1,0 +1,22 @@
+"""Bench X10 — state-encoding styles for the distributed controllers.
+
+Extension: the Table-1 areas depend on the state encoding.  Binary packs
+states into ceil(log2 n) flip-flops, gray often shaves decode literals on
+the counter-like Algorithm-1 chains, one-hot trades many more flip-flops
+for simple per-state terms.  The qualitative Table-1 ordering
+(CENT-SYNC < DIST << CENT) is encoding-independent; this bench quantifies
+the per-style costs of the DIST controllers.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_encoding_ablation
+
+
+def test_encoding_ablation(benchmark):
+    result = run_once(benchmark, run_encoding_ablation, "diffeq")
+    print()
+    print(result.render())
+    rows = {style: (comb, seq, ffs) for style, comb, seq, ffs in result.rows}
+    assert rows["one-hot"][2] > rows["binary"][2]  # many more FFs
+    assert rows["gray"][2] == rows["binary"][2]  # same register width

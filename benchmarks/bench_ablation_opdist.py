@@ -1,0 +1,21 @@
+"""Bench X3 — controller granularity: per-operation vs per-unit.
+
+Extension reproducing the paper's §1 argument against [3]: per-operation
+controllers preserve concurrency exactly like the distributed per-unit
+scheme (equal latency, checked in the test suite) but replicate state
+registers and completion latches per *operation*, so sequential area grows
+with the operation count instead of the unit count.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_opdist
+
+
+def test_opdist_granularity(benchmark):
+    result = run_once(benchmark, run_opdist, "diffeq")
+    print()
+    print(result.render())
+    assert result.num_ops > result.num_units
+    assert result.opdist_seq > result.dist_seq
+    assert result.opdist_latches > result.dist_latches

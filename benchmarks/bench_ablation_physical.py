@@ -1,0 +1,37 @@
+"""Bench X9 — end-to-end physical run: the CSG closes the loop.
+
+Extension grounding the whole stack: a completion-signal generator is
+synthesized for a bit-level array multiplier and verified safe; real
+operand streams flow through the value-computing datapath; the CSG — not
+a Bernoulli coin — decides fast/slow per execution.  The observed mean
+latency is then compared against the analytic Bernoulli(P) prediction at
+the *measured* fast fraction.  Expected shape: P falls as operands widen
+(small4 ≈ 1.0 → uniform ≈ 0.7) and the prediction tracks the simulation
+to within a few percent (residual gap: per-op outcomes are correlated
+through shared operands, which the i.i.d. model ignores).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_physical
+
+
+def _run():
+    return [
+        run_physical("diffeq", trials=80, small_bits=bits)
+        for bits in (4, 6, None)
+    ]
+
+
+def test_physical_loop(benchmark):
+    rows = run_once(benchmark, _run)
+    print()
+    for row in rows:
+        print(row.render())
+    measured = [row.measured_p for row in rows]
+    assert measured == sorted(measured, reverse=True)  # wider -> slower
+    for row in rows:
+        assert (
+            abs(row.simulated_mean_cycles - row.predicted_mean_cycles)
+            < 0.35
+        )

@@ -1,0 +1,27 @@
+"""Bench X1 — P sweep: when does telescoping pay off at all?
+
+Extension beyond Table 2: expected latency vs the fast-operand probability
+P for the distributed unit, the synchronized unit and the conventional
+fixed-clock design.  Expected shape: both TAU designs approach the
+best case as P -> 1; below some crossover P the fixed design (shorter
+total cycle budget at the long clock) wins; DIST dominates SYNC
+throughout.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_psweep
+
+
+def test_psweep_crossover(benchmark):
+    result = run_once(
+        benchmark, run_psweep, "fir5", (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+    )
+    print()
+    print(result.render())
+    assert list(result.dist_ns) == sorted(result.dist_ns, reverse=True)
+    for d, s in zip(result.dist_ns, result.sync_ns):
+        assert d <= s + 1e-9
+    # At P=1 the TAU design beats the fixed design; at P=0.1 it loses.
+    assert result.dist_ns[-1] < result.fixed_ns
+    assert result.dist_ns[0] > result.fixed_ns

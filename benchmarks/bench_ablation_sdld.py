@@ -1,0 +1,28 @@
+"""Bench X2 — SD/LD ratio ablation.
+
+Extension: sweep the short delay (= system clock) for a fixed long delay.
+An aggressive SD buys cycles when operands are fast, but every slow
+operand costs a full extra SD cycle; the sweep locates the SD below which
+the telescopic design beats the fixed LD-clock design at a given P.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_sdld_sweep
+
+
+def test_sdld_ratio_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_sdld_sweep,
+        "fir5",
+        0.7,
+        20.0,
+        (11.0, 13.0, 15.0, 17.0, 19.0),
+    )
+    print()
+    print(result.render())
+    # Latency in ns grows with SD (same cycle counts, longer clock).
+    assert list(result.dist_ns) == sorted(result.dist_ns)
+    # Aggressive telescoping (SD=11) must beat the fixed design.
+    assert result.dist_ns[0] < result.fixed_ns

@@ -1,0 +1,54 @@
+"""Bench X8 — analytic throughput bound vs simulated pipeline.
+
+Extension: the pipelined distributed control unit is a timed marked graph
+whose steady-state iteration period equals its maximum cycle ratio λ*
+(durations over initial tokens on each loop).  The bench computes λ*
+exactly (parametric Bellman–Ford), names the critical cycle — the
+resource chain or dependence loop that caps the pipeline — and shows the
+cycle-accurate simulator achieving it.
+"""
+
+from conftest import run_once
+
+from repro.analysis import pipelined_throughput_bound
+from repro.experiments import synthesize_benchmark
+from repro.resources import AllFastCompletion, AllSlowCompletion
+from repro.sim import pipelined_throughput
+
+
+def _run():
+    rows = []
+    for name in ("fir3", "fir5", "fig3", "diffeq"):
+        result = synthesize_benchmark(name)
+        for model, fast in (
+            (AllFastCompletion(), True),
+            (AllSlowCompletion(), False),
+        ):
+            bound = pipelined_throughput_bound(result.bound, fast=fast)
+            __, simulated = pipelined_throughput(
+                result.distributed_system(),
+                result.bound,
+                model,
+                iterations=12,
+            )
+            rows.append((name, fast, bound, simulated))
+    return rows
+
+
+def test_throughput_bound(benchmark):
+    rows = run_once(benchmark, _run)
+    print()
+    for name, fast, bound, simulated in rows:
+        mode = "fast" if fast else "slow"
+        print(
+            f"  {name:8s} {mode}: λ* = {bound.cycles_per_iteration} "
+            f"cycles/iter, simulated {simulated:.3f} "
+            f"(cycle: {' -> '.join(bound.critical_cycle)})"
+        )
+        assert simulated >= float(bound.cycles_per_iteration) - 1e-9
+    achieved = sum(
+        1
+        for _, _, bound, simulated in rows
+        if abs(simulated - float(bound.cycles_per_iteration)) < 1e-6
+    )
+    assert achieved >= len(rows) - 1  # the bound is tight almost everywhere

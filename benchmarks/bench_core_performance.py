@@ -1,0 +1,57 @@
+"""Core-engine performance benchmarks (multi-round timing).
+
+Unlike the experiment benches (one measured regeneration each), these
+measure the hot paths of the library itself with proper repetition:
+end-to-end synthesis, cycle-accurate simulation, exact expectation and
+logic minimization — the numbers a downstream user cares about when
+scaling to bigger dataflow graphs.
+"""
+
+from repro.analysis.latency import DistLatencyEvaluator, exact_expected_latency
+from repro.api import synthesize
+from repro.benchmarks import ar_lattice, differential_equation, fir_filter
+from repro.fsm.area import fsm_area
+from repro.resources import BernoulliCompletion
+from repro.sim import simulate
+
+
+def test_synthesize_diffeq(benchmark):
+    dfg = differential_equation()
+    result = benchmark(synthesize, dfg, "mul:2T,add:1,sub:1")
+    assert len(result.distributed.unit_names) == 4
+
+
+def test_synthesize_large_fir(benchmark):
+    dfg = fir_filter(10)
+    result = benchmark(synthesize, dfg, "mul:3T,add:2")
+    assert result.schedule.num_steps >= 4
+
+
+def test_simulate_ar_lattice(benchmark):
+    result = synthesize(ar_lattice(), "mul:4T,add:2")
+    system = result.distributed_system()
+
+    def run():
+        return simulate(
+            system, result.bound, BernoulliCompletion(0.7), seed=1
+        )
+
+    sim = benchmark(run)
+    assert sim.cycles >= result.latency_comparison(ps=()).dist.best_cycles
+
+
+def test_exact_expectation_ar_lattice(benchmark):
+    """65536-assignment exhaustive expectation (Table 2's heaviest cell)."""
+    result = synthesize(ar_lattice(), "mul:4T,add:2")
+    evaluator = DistLatencyEvaluator(result.bound)
+    tau_ops = result.bound.telescopic_ops()
+
+    value = benchmark(exact_expected_latency, evaluator, tau_ops, 0.7)
+    assert value > 0
+
+
+def test_fsm_area_minimization(benchmark):
+    result = synthesize(differential_equation(), "mul:2T,add:1,sub:1")
+    fsm = result.distributed.controller("TM2")
+    report = benchmark(fsm_area, fsm)
+    assert report.method == "exact"

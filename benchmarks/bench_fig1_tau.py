@@ -1,0 +1,28 @@
+"""Bench F1 — the telescopic unit itself (paper Fig. 1).
+
+Synthesizes completion-signal generators for a bit-level adder and array
+multiplier, verifies safety exhaustively, and measures the fast-group
+probability P per operand distribution (the paper's Fig. 1 plus the
+empirical grounding of its P parameter).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig1_adder, run_fig1_multiplier
+
+
+def test_fig1_telescopic_multiplier(benchmark):
+    result = run_once(benchmark, run_fig1_multiplier, 8)
+    print()
+    print(result.render())
+    assert result.pairs_verified == 65536
+    assert result.short_delay_ns < result.long_delay_ns
+    assert result.achieved_p["small-operand"] >= result.achieved_p["uniform"]
+
+
+def test_fig1_telescopic_adder(benchmark):
+    result = run_once(benchmark, run_fig1_adder, 8)
+    print()
+    print(result.render())
+    assert result.pairs_verified == 65536
+    assert 0.0 < result.achieved_p["uniform"] < 1.0

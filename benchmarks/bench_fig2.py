@@ -1,0 +1,19 @@
+"""Bench F2 — the TAUBM derivation chain (paper Fig. 2).
+
+Original DFG -> TAUBM DFG (split steps) -> TAUBM FSM; the paper's example
+FSM has six states (S0, S0', S1, S2, S2', S3) and a 4..6-cycle latency
+range depending on the completion signals.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_taubm_derivation(benchmark):
+    result = run_once(benchmark, run_fig2)
+    print()
+    print(result.render())
+    assert result.min_cycles == 4
+    assert result.max_cycles == 6
+    assert result.fsm.num_states == 6

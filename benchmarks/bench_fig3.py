@@ -1,0 +1,19 @@
+"""Bench F3 — order-based scheduling with schedule arcs (paper Fig. 3).
+
+The paper's example: the multiplication dependency graph needs three
+cliques (three TAU multipliers) without arcs; with two allocated
+multipliers (and two adders) schedule arcs are inserted (the paper draws
+four) and every operation lands in a per-unit execution chain.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_order_based_scheduling(benchmark):
+    result = run_once(benchmark, run_fig3)
+    print()
+    print(result.render())
+    assert result.min_multipliers_needed == 3
+    assert 3 <= result.num_schedule_arcs <= 4

@@ -1,0 +1,22 @@
+"""Bench F4 — state explosion of the centralized FSM (paper Fig. 4).
+
+One time step with n independent TAU multiplications: the centralized
+non-synchronized machine (Fig. 4(a)) needs states for every combination of
+per-unit progress (2**n branching), while the synchronized machine
+(Fig. 4(b)) keeps one extension state regardless of n.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+
+def test_fig4_state_explosion(benchmark):
+    result = run_once(benchmark, run_fig4, (1, 2, 3, 4))
+    print()
+    print(result.render())
+    growths = [
+        b - a for a, b in zip(result.cent_states, result.cent_states[1:])
+    ]
+    assert all(g2 > g1 for g1, g2 in zip(growths, growths[1:]))
+    assert max(result.sync_states) - min(result.sync_states) <= 3

@@ -1,0 +1,21 @@
+"""Bench F6 — the Algorithm-1 controller FSM (paper Fig. 6).
+
+Derives the arithmetic-unit controller for the first TAU multiplier of the
+Fig. 3 design and reports its state/transition structure and area.  The
+paper's machine has S/S'/R states per bound operation and ten numbered
+logical transitions for a two-op chain with one guarded successor.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_unit_controller(benchmark):
+    result = run_once(benchmark, run_fig6)
+    print()
+    print(result.render())
+    fsm = result.fsm
+    assert any(s.startswith("S_") for s in fsm.states)
+    assert any(s.startswith("SX_") for s in fsm.states)
+    fsm.validate()

@@ -1,0 +1,19 @@
+"""Bench F7 — the distributed control unit and its wiring (paper Fig. 7).
+
+Integrates the per-unit controllers of the Fig. 3 design, wires the
+completion signals, and applies the signal optimization the paper
+describes ("C_CO(0) is removed since any other controllers do not receive
+it") — here the unconsumed completion signals are pruned and reported.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_distributed_integration(benchmark):
+    result = run_once(benchmark, run_fig7)
+    print()
+    print(result.render())
+    assert result.live_wires >= 4
+    assert len(result.pruned_signals) >= 2

@@ -1,0 +1,31 @@
+"""Bench T1 — regenerate Table 1 (controller area on Diff.).
+
+Paper reference (Table 1)::
+
+    FSM            I/O    States  FFs  Area(Com./Seq.)
+    CENT-FSM       4/22   28      10   1227 / 110
+    CENT-SYNC-FSM  4/22   10      6    342 / 66
+    DIST-FSM       4/22   22      20   518 / 220
+    D-FSM-M1 ...   (per-unit rows)
+
+Expected reproduced shape: CENT-SYNC < DIST in area; CENT combinationally
+largest by a wide margin; DIST pays a few× CENT-SYNC sequential area
+(replicated state registers + completion latches).  Absolute units differ
+(two-level literal model vs the authors' synthesis flow).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_area_analysis(benchmark):
+    result = run_once(benchmark, run_table1, "diffeq")
+    print()
+    print(result.render())
+    result.check_shape()
+    # Quantitative shape: CENT at least 5x DIST combinationally, and DIST
+    # within ~2-6x of CENT-SYNC in total area (paper: ~3x).
+    assert result.cent.combinational_area > 5 * result.dist.combinational_area
+    ratio = result.dist.total_area / result.cent_sync.total_area
+    assert 1.0 < ratio < 8.0

@@ -1,0 +1,35 @@
+"""Bench T2 — regenerate Table 2 (latency comparison, all six rows).
+
+Paper reference (Table 2, SD=15ns LD=20ns FD=15ns, P in {0.9, 0.7, 0.5})::
+
+    DFG         Res.        LT_TAU                  LT_DIST                Enh.
+    3rd FIR     *:2,+:1     [45][49.4,57.1,63.7][75]  [45][49.2,56.2,61.8][75]  [0.4,1.6,2.9]%
+    5th FIR     *:2,+:1     [75][81.9,92.5,99.4][105] [75][77.9,82.7,86.3][90]  [4.9,10.6,13.2]%
+    2nd IIR     *:2,+:1     [75][80.7,90.3,97.5][105] [75][77.9,82.7,86.3][90]  [3.5,8.4,11.5]%
+    3rd IIR     *:3,+:2     [75][83.1,94.7,101.3][135][75][80.6,89.3,95.9][135] [3.0,5.7,5.3]%
+    Diff.       *:2,+:1,-:1 [60][68.6,82.9,93.8][105] [60][68.1,80.7,90.6][105] [0.7,2.7,3.4]%
+    AR-lattice  *:4,+:2     [120][140.6,...][180]     [120][134.2,...][165]     [4.6,8.9,9.1]%
+
+Expected reproduced shape: DIST <= TAUBM-sync on every entry; enhancement
+grows as P drops; FIR-3 and Diff. improve least (~0-3%), the concurrent
+benchmarks (5th FIR / IIR / AR-lattice) improve most (5-15%); best cases
+equal (concurrency only helps when telescoping stalls differ).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+
+def test_table2_latency_comparison(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(result.render())
+    result.check_shape()
+    rows = {c.benchmark: c for c in result.comparisons}
+    # The paper's headline: the little-concurrency rows improve least.
+    assert rows["3rd FIR"].enhancement(0.5) < rows["5th FIR"].enhancement(0.5)
+    assert rows["Diff."].enhancement(0.5) < rows["2nd IIR"].enhancement(0.5)
+    # Every row's enhancement grows as P drops from 0.9 to 0.5.
+    for comparison in result.comparisons:
+        assert comparison.enhancement(0.5) >= comparison.enhancement(0.9) - 1e-9

@@ -1,0 +1,25 @@
+"""Benchmark-harness configuration.
+
+Every bench regenerates one paper table/figure (or an ablation), asserts
+its qualitative shape, and reports the wall time of the regeneration via
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated tables/series inline; EXPERIMENTS.md records
+a snapshot of this output next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a driver with a single measured round.
+
+    Experiment drivers are deterministic and some are expensive (exact
+    QM minimization of the product FSM); one round keeps the harness
+    usable while still producing a timing row per experiment.
+    """
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

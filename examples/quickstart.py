@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: synthesize distributed controllers for a small DFG.
+
+Builds a tiny dataflow graph, allocates two telescopic multipliers and one
+adder, runs the full flow (order-based scheduling, binding, Algorithm-1
+controller derivation, integration), simulates it cycle-accurately with a
+value-checking datapath, and prints every artifact along the way.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DFGBuilder, synthesize
+from repro.resources import BernoulliCompletion
+from repro.sim import simulate
+
+
+def main() -> None:
+    # 1. Describe the behaviour: y = (a*b) * (c*d) + (a*b)
+    b = DFGBuilder("quickstart")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    p1 = b.mul("p1", a, bb)
+    p2 = b.mul("p2", c, d)
+    p3 = b.mul("p3", p1, p2)
+    total = b.add("sum", p3, p1)
+    b.output("y", total)
+    dfg = b.build()
+    print(dfg.summary())
+
+    # 2. Synthesize under 2 telescopic multipliers + 1 adder.
+    result = synthesize(dfg, "mul:2T,add:1")
+    print()
+    print(result.schedule.describe())
+    print()
+    print(result.bound.describe())
+    print()
+    print(result.distributed.describe())
+
+    # 3. Simulate: 70% of operand pairs are "fast" (finish within SD).
+    sim = simulate(
+        result.distributed_system(),
+        result.bound,
+        BernoulliCompletion(0.7),
+        seed=42,
+        inputs={"a": 3, "b": 4, "c": 5, "d": 6},
+        record_trace=True,
+    )
+    print()
+    print(f"latency: {sim.cycles} cycles = {sim.latency_ns:.0f} ns")
+    print(f"outputs: {sim.datapath.output_values()}")
+    print()
+    print(sim.trace.render())
+
+    # 4. Compare against the synchronized centralized controller.
+    comparison = result.latency_comparison()
+    print()
+    print(f"CENT-SYNC latency: {comparison.sync.bracket_ns()}")
+    print(f"DIST      latency: {comparison.dist.bracket_ns()}")
+    print(f"enhancement      : {comparison.enhancement_column()}")
+
+
+if __name__ == "__main__":
+    main()

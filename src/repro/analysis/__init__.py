@@ -1,0 +1,72 @@
+"""Analytic latency models and report rendering."""
+
+from .activity import ActivityReport, activity_report, compare_activity
+from .marked_graph import (
+    ThroughputBound,
+    pipelined_throughput_bound,
+    resource_bound_cycles,
+)
+from .distribution import (
+    DistributionComparison,
+    LatencyDistribution,
+    compare_distributions,
+    exact_latency_distribution,
+)
+from .latency import (
+    DistLatencyEvaluator,
+    DurationTable,
+    EXACT_ENUMERATION_LIMIT,
+    LatencyComparison,
+    SchemeLatency,
+    compare_latencies,
+    dist_latency_cycles,
+    duration_table,
+    exact_expected_latency_categorical,
+    enumerate_assignments,
+    exact_expected_latency,
+    expected_latency,
+    monte_carlo_expected_latency,
+    scheme_latency,
+    sync_latency_cycles,
+)
+from .tables import render_series, render_table
+from .utilization import (
+    UnitUtilization,
+    UtilizationReport,
+    compare_utilization,
+    utilization_report,
+)
+
+__all__ = [
+    "ActivityReport",
+    "DistLatencyEvaluator",
+    "DistributionComparison",
+    "DurationTable",
+    "EXACT_ENUMERATION_LIMIT",
+    "LatencyComparison",
+    "LatencyDistribution",
+    "SchemeLatency",
+    "ThroughputBound",
+    "activity_report",
+    "compare_activity",
+    "UnitUtilization",
+    "UtilizationReport",
+    "compare_utilization",
+    "compare_distributions",
+    "compare_latencies",
+    "dist_latency_cycles",
+    "duration_table",
+    "exact_expected_latency_categorical",
+    "enumerate_assignments",
+    "exact_expected_latency",
+    "exact_latency_distribution",
+    "expected_latency",
+    "monte_carlo_expected_latency",
+    "pipelined_throughput_bound",
+    "render_series",
+    "resource_bound_cycles",
+    "render_table",
+    "scheme_latency",
+    "sync_latency_cycles",
+    "utilization_report",
+]

@@ -1,0 +1,31 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Monospace table with padded columns and a separator rule."""
+    columns = [list(map(str, col)) for col in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        )
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, points: Sequence[tuple[float, float]], unit: str = ""
+) -> str:
+    """One-line-per-point rendering of a figure-style series."""
+    lines = [title]
+    for x, y in points:
+        lines.append(f"  {x:g}\t{y:g}{unit}")
+    return "\n".join(lines)

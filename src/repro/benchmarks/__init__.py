@@ -1,0 +1,39 @@
+"""The paper's DFG benchmark suite plus extensions."""
+
+from .ar_lattice import ar_lattice
+from .diffeq import differential_equation
+from .ewf import elliptic_wave_filter
+from .fdct import fdct
+from .fir import fir3, fir5, fir_filter
+from .iir import iir2, iir3, iir_filter
+from .paper_examples import (
+    fig4_pathological_dfg,
+    paper_fig2_dfg,
+    paper_fig3_dfg,
+)
+from .registry import (
+    BenchmarkEntry,
+    all_benchmarks,
+    benchmark,
+    table2_benchmarks,
+)
+
+__all__ = [
+    "BenchmarkEntry",
+    "all_benchmarks",
+    "ar_lattice",
+    "benchmark",
+    "differential_equation",
+    "elliptic_wave_filter",
+    "fdct",
+    "fig4_pathological_dfg",
+    "fir3",
+    "fir5",
+    "fir_filter",
+    "iir2",
+    "iir3",
+    "iir_filter",
+    "paper_fig2_dfg",
+    "paper_fig3_dfg",
+    "table2_benchmarks",
+]

@@ -1,0 +1,40 @@
+"""The AR-lattice benchmark (paper Table 2, "AR-lattice" row).
+
+The classic HLS "AR filter" workload: 16 multiplications and 12 additions
+arranged as four product-sum sections (each a 4-product balanced tree),
+where the second pair of sections consumes the first pair's outputs — a
+multiplication-heavy graph with wide concurrency, scheduled by the paper
+under four TAU multipliers and two adders.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import DFGBuilder
+from ..core.dfg import DataflowGraph, OpRef
+
+_COEFFS = (3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59)
+
+
+def _section(
+    b: DFGBuilder, tag: str, sources, coeffs
+) -> OpRef:
+    """4-product section: ``(s0·c0 + s1·c1) + (s2·c2 + s3·c3)``."""
+    products = [
+        b.mul(f"m{tag}{i}", sources[i], coeffs[i]) for i in range(4)
+    ]
+    left = b.add(f"a{tag}0", products[0], products[1])
+    right = b.add(f"a{tag}1", products[2], products[3])
+    return b.add(f"a{tag}2", left, right)
+
+
+def ar_lattice() -> DataflowGraph:
+    """Build the AR-lattice DFG (16 mults, 12 adds, depth 6)."""
+    b = DFGBuilder("ar_lattice")
+    xs = [b.input(f"x{i}") for i in range(12)]
+    o1 = _section(b, "p", xs[0:4], _COEFFS[0:4])
+    o2 = _section(b, "q", xs[4:8], _COEFFS[4:8])
+    o3 = _section(b, "r", (o1, o2, xs[8], xs[9]), _COEFFS[8:12])
+    o4 = _section(b, "s", (o1, o2, xs[10], xs[11]), _COEFFS[12:16])
+    b.output("y0", o3)
+    b.output("y1", o4)
+    return b.build()

@@ -1,0 +1,41 @@
+"""The HAL differential-equation solver benchmark (paper Table 1 & 2).
+
+The classic high-level-synthesis benchmark: one Euler iteration of
+``y'' + 3xy' + 3y = 0``::
+
+    x1 = x + dx
+    u1 = u - (3 * x * u * dx) - (3 * y * dx)
+    y1 = y + u * dx
+    c  = x1 < a
+
+Six multiplications, two additions, two subtractions and one comparison
+(served by the subtractor class).  The paper's allocation is two TAU
+multipliers, one adder and one subtractor.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import DFGBuilder
+from ..core.dfg import DataflowGraph
+
+
+def differential_equation() -> DataflowGraph:
+    """Build the Diff. benchmark DFG (11 operations)."""
+    b = DFGBuilder("diffeq")
+    x, y, u, dx, a = b.inputs("x", "y", "u", "dx", "a")
+    m1 = b.mul("m1", 3, x)        # 3x
+    m2 = b.mul("m2", u, dx)       # u*dx
+    m3 = b.mul("m3", 3, y)        # 3y
+    m4 = b.mul("m4", m1, m2)      # 3x*u*dx
+    m5 = b.mul("m5", m3, dx)      # 3y*dx
+    m6 = b.mul("m6", u, dx)       # u*dx (second instance, feeds y1)
+    s1 = b.sub("s1", u, m4)       # u - 3x*u*dx
+    s2 = b.sub("s2", s1, m5)      # u1
+    a1 = b.add("a1", x, dx)       # x1
+    a2 = b.add("a2", y, m6)       # y1
+    c = b.lt("c", a1, a)          # x1 < a
+    b.output("x1", a1)
+    b.output("y1", a2)
+    b.output("u1", s2)
+    b.output("c", c)
+    return b.build()

@@ -1,0 +1,61 @@
+"""An elliptic-wave-filter-style benchmark (extension workload).
+
+The fifth-order elliptic wave filter is the traditional "large" HLS
+benchmark (34 operations, deep and mostly serial adder chains with a few
+multiplications).  This module builds an EWF-*style* graph with the same
+operation mix (26 additions, 8 multiplications) and comparable depth —
+enough to exercise the controllers on a long-critical-path, low-concurrency
+workload, the regime where the distributed scheme's advantage shrinks.
+It is an extension beyond the paper's table and is documented as such.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import DFGBuilder
+from ..core.dfg import DataflowGraph
+
+
+def elliptic_wave_filter() -> DataflowGraph:
+    """Build the EWF-style DFG (26 adds, 8 mults, depth 14)."""
+    b = DFGBuilder("ewf")
+    x = b.input("x")
+    s = [b.input(f"s{i}") for i in range(7)]  # state registers
+    c = [2, 3, 5, 7, 11, 13, 17, 19]
+
+    t1 = b.add("t1", x, s[0])
+    t2 = b.add("t2", t1, s[1])
+    m1 = b.mul("m1", t2, c[0])
+    t3 = b.add("t3", m1, s[2])
+    t4 = b.add("t4", t3, t1)
+    m2 = b.mul("m2", t4, c[1])
+    t5 = b.add("t5", m2, s[3])
+    t6 = b.add("t6", t5, t3)
+    t7 = b.add("t7", t6, s[4])
+    m3 = b.mul("m3", t7, c[2])
+    t8 = b.add("t8", m3, t5)
+    t9 = b.add("t9", t8, s[5])
+    m4 = b.mul("m4", t9, c[3])
+    t10 = b.add("t10", m4, t8)
+    # Parallel branch from early nodes (gives the graph some width).
+    m5 = b.mul("m5", t1, c[4])
+    t11 = b.add("t11", m5, s[6])
+    t12 = b.add("t12", t11, t2)
+    m6 = b.mul("m6", t12, c[5])
+    t13 = b.add("t13", m6, t11)
+    t14 = b.add("t14", t13, t4)
+    t15 = b.add("t15", t14, t6)
+    m7 = b.mul("m7", t15, c[6])
+    t16 = b.add("t16", m7, t13)
+    t17 = b.add("t17", t16, t9)
+    t18 = b.add("t18", t17, t10)
+    m8 = b.mul("m8", t18, c[7])
+    t19 = b.add("t19", m8, t16)
+    t20 = b.add("t20", t19, t17)
+    t21 = b.add("t21", t20, t10)
+    t22 = b.add("t22", t21, t12)
+    t23 = b.add("t23", t22, t14)
+    t24 = b.add("t24", t23, t19)
+    t25 = b.add("t25", t24, t20)
+    t26 = b.add("t26", t25, t22)
+    b.output("y", t26)
+    return b.build()

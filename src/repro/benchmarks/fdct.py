@@ -1,0 +1,78 @@
+"""A fast-DCT-style benchmark (extension workload).
+
+An 8-point one-dimensional fast DCT in the Loeffler style: a first
+butterfly stage, an even half computed with two rotation blocks, and an
+odd half with cascaded rotations — the classic image-compression kernel
+HLS papers schedule.  Coefficients are integer placeholders (the graph
+*shape* — butterflies feeding rotations feeding butterflies — is what the
+controllers care about).  Mix: 15 multiplications, 14 additions,
+14 subtractions; wider than the FIR/IIR rows and with real sub-graph
+parallelism between the even and odd halves.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import DFGBuilder
+from ..core.dfg import DataflowGraph, OpRef
+
+
+def _rotation(
+    b: DFGBuilder, tag: str, x: OpRef, y: OpRef, c1: int, c2: int
+) -> tuple[OpRef, OpRef]:
+    """A plane rotation: (x·c1 + y·c2, y·c1 − x·c2) — 4 mults, 1 add, 1 sub."""
+    xc1 = b.mul(f"m{tag}a", x, c1)
+    yc2 = b.mul(f"m{tag}b", y, c2)
+    yc1 = b.mul(f"m{tag}c", y, c1)
+    xc2 = b.mul(f"m{tag}d", x, c2)
+    return (
+        b.add(f"a{tag}", xc1, yc2),
+        b.sub(f"s{tag}", yc1, xc2),
+    )
+
+
+def fdct() -> DataflowGraph:
+    """Build the 8-point FDCT-style DFG."""
+    b = DFGBuilder("fdct")
+    x = [b.input(f"x{i}") for i in range(8)]
+
+    # Stage 1: input butterflies.
+    t = [b.add(f"b{i}", x[i], x[7 - i]) for i in range(4)]
+    u = [b.sub(f"d{i}", x[i], x[7 - i]) for i in range(4)]
+
+    # Even half: second butterfly + one rotation.
+    e0 = b.add("e0", t[0], t[3])
+    e1 = b.add("e1", t[1], t[2])
+    e2 = b.sub("e2", t[0], t[3])
+    e3 = b.sub("e3", t[1], t[2])
+    y0 = b.add("y0", e0, e1)
+    y4 = b.sub("y4", e0, e1)
+    y2, y6 = _rotation(b, "r0", e2, e3, 6, 17)
+
+    # Odd half: two rotations feeding output butterflies, plus the
+    # sqrt(2) scaling multiplications of the Loeffler structure.
+    o0, o1 = _rotation(b, "r1", u[0], u[3], 3, 21)
+    o2, o3 = _rotation(b, "r2", u[1], u[2], 9, 13)
+    p0 = b.add("p0", o0, o2)
+    p1 = b.sub("p1", o0, o2)
+    p2 = b.add("p2", o1, o3)
+    p3 = b.sub("p3", o1, o3)
+    k1 = b.mul("k1", p1, 11)
+    k2 = b.mul("k2", p3, 11)
+    k3 = b.mul("k3", p2, 7)
+    y1 = b.add("y1", p0, k3)
+    y7 = b.sub("y7", p0, k3)
+    y3 = b.sub("y3", k1, k2)
+    y5 = b.add("y5", k1, k2)
+
+    for name, ref in (
+        ("y0", y0),
+        ("y1", y1),
+        ("y2", y2),
+        ("y3", y3),
+        ("y4", y4),
+        ("y5", y5),
+        ("y6", y6),
+        ("y7", y7),
+    ):
+        b.output(name, ref)
+    return b.build()

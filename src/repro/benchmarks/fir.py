@@ -1,0 +1,70 @@
+"""FIR filter benchmarks (paper Table 2: "3rd FIR", "5th FIR").
+
+A direct-form FIR with ``taps`` coefficient multiplications and a balanced
+adder tree.  The paper's latency brackets (best 45 ns = 3 cycles for the
+"3rd FIR" at a 15 ns clock) indicate graphs of this tap count; we name the
+registry entries after the paper's rows and document the tap
+interpretation in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import DFGBuilder
+from ..core.dfg import DataflowGraph, OpRef
+from ..errors import GraphError
+
+#: Default coefficient values (arbitrary odd constants, documented data).
+DEFAULT_COEFFICIENTS = (3, 5, 7, 11, 13, 17, 19, 23, 29, 31)
+
+
+def fir_filter(
+    taps: int,
+    name: "str | None" = None,
+    coefficients: "tuple[int, ...] | None" = None,
+    tree_adds: bool = True,
+) -> DataflowGraph:
+    """Direct-form FIR: ``y = Σ c_i · x[n−i]``.
+
+    ``tree_adds`` selects a balanced adder tree (more concurrency, the
+    usual hardware form); ``False`` gives the serial accumulation chain.
+    """
+    if taps < 2:
+        raise GraphError("an FIR filter needs at least two taps")
+    coeffs = coefficients or DEFAULT_COEFFICIENTS
+    if len(coeffs) < taps:
+        raise GraphError(f"need {taps} coefficients, got {len(coeffs)}")
+    b = DFGBuilder(name or f"fir{taps}")
+    xs = [b.input(f"x{i}") for i in range(taps)]
+    products: list[OpRef] = [
+        b.mul(f"m{i}", xs[i], coeffs[i]) for i in range(taps)
+    ]
+    if tree_adds:
+        level = 0
+        current = products
+        while len(current) > 1:
+            nxt: list[OpRef] = []
+            for k in range(0, len(current) - 1, 2):
+                nxt.append(
+                    b.add(f"a{level}_{k // 2}", current[k], current[k + 1])
+                )
+            if len(current) % 2:
+                nxt.append(current[-1])
+            current = nxt
+            level += 1
+        result = current[0]
+    else:
+        result = products[0]
+        for i, product in enumerate(products[1:], start=1):
+            result = b.add(f"a{i}", result, product)
+    b.output("y", result)
+    return b.build()
+
+
+def fir3() -> DataflowGraph:
+    """The paper's "3rd FIR" row (3 taps, see DESIGN.md)."""
+    return fir_filter(3, name="fir3")
+
+
+def fir5() -> DataflowGraph:
+    """The paper's "5th FIR" row (5 taps, see DESIGN.md)."""
+    return fir_filter(5, name="fir5")

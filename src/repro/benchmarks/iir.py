@@ -1,0 +1,61 @@
+"""IIR filter benchmarks (paper Table 2: "2nd IIR", "3rd IIR").
+
+Direct-form-I IIR section of order ``N``::
+
+    y[n] = Σ_{i=0..N} b_i · x[n−i]  +  Σ_{j=1..N} a_j · y[n−j]
+
+Signed coefficients fold the feedback subtraction into additions, matching
+the paper's adder-only allocations (``*:2, +:1`` for the 2nd-order row,
+``*:3, +:2`` for the 3rd-order row).  Delayed samples ``x[n−i]``/``y[n−j]``
+are primary inputs of the one-iteration dataflow graph.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import DFGBuilder
+from ..core.dfg import DataflowGraph, OpRef
+from ..errors import GraphError
+
+FEEDFORWARD = (2, 3, 5, 7, 11)
+FEEDBACK = (13, 17, 19, 23)
+
+
+def iir_filter(order: int, name: "str | None" = None) -> DataflowGraph:
+    """Direct-form-I IIR of the given order (2N+1 mults, 2N adds)."""
+    if order < 1:
+        raise GraphError("IIR order must be >= 1")
+    if order + 1 > len(FEEDFORWARD) or order > len(FEEDBACK):
+        raise GraphError(f"order {order} exceeds the coefficient table")
+    b = DFGBuilder(name or f"iir{order}")
+    xs = [b.input(f"x{i}") for i in range(order + 1)]
+    ys = [b.input(f"y{j}") for j in range(1, order + 1)]
+    products: list[OpRef] = []
+    for i in range(order + 1):
+        products.append(b.mul(f"mb{i}", xs[i], FEEDFORWARD[i]))
+    for j in range(order):
+        products.append(b.mul(f"ma{j + 1}", ys[j], FEEDBACK[j]))
+    # Balanced accumulation tree over the 2N+1 products.
+    level = 0
+    current = products
+    while len(current) > 1:
+        nxt: list[OpRef] = []
+        for k in range(0, len(current) - 1, 2):
+            nxt.append(
+                b.add(f"s{level}_{k // 2}", current[k], current[k + 1])
+            )
+        if len(current) % 2:
+            nxt.append(current[-1])
+        current = nxt
+        level += 1
+    b.output("y", current[0])
+    return b.build()
+
+
+def iir2() -> DataflowGraph:
+    """The paper's "2nd IIR" row (5 mults, 4 adds)."""
+    return iir_filter(2, name="iir2")
+
+
+def iir3() -> DataflowGraph:
+    """The paper's "3rd IIR" row (7 mults, 6 adds)."""
+    return iir_filter(3, name="iir3")

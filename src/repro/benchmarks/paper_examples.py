@@ -1,0 +1,87 @@
+"""The paper's running example DFGs (Figs. 2 and 3).
+
+The paper draws the graphs without operand labels, so concrete inputs are
+chosen freely; every structural property the text states is preserved and
+asserted by tests:
+
+* **Fig. 2** — six operations in four time steps; multiplications (bound
+  to TAUs) occupy steps T0 and T2, so the TAUBM FSM has extension states
+  exactly there and the latency ranges over 4..6 cycles.  Operation ``o1``
+  depends only on ``o0`` (the lost-concurrency example of §2.3).
+* **Fig. 3** — nine operations, five of them multiplications whose
+  dependency graph has minimal clique count three (``(o0,o1)``, ``(o4)``,
+  ``(o6,o8)``), so two allocated TAU multipliers force schedule-arc
+  insertion; with two adders the order-based schedule inserts four arcs.
+"""
+
+from __future__ import annotations
+
+from ..core.builder import DFGBuilder
+from ..core.dfg import DataflowGraph
+
+
+def paper_fig2_dfg() -> DataflowGraph:
+    """The original DFG of Fig. 2(a) (1 TAU multiplier scenario's graph).
+
+    Steps (ASAP): T0 = {o0, o3} (×), T1 = {o1} (+), T2 = {o2, o4} (×),
+    T3 = {o5} (+).
+    """
+    b = DFGBuilder("fig2")
+    a, c, d, g, j = b.inputs("a", "c", "d", "g", "j")
+    o0 = b.mul("o0", a, c)
+    o3 = b.mul("o3", d, g)
+    o1 = b.add("o1", o0, j)
+    o2 = b.mul("o2", o1, a)
+    o4 = b.mul("o4", o1, o3)
+    o5 = b.add("o5", o2, o4)
+    b.output("out", o5)
+    return b.build()
+
+
+def paper_fig3_dfg() -> DataflowGraph:
+    """The DFG behind Fig. 3 (2 TAU multipliers + 2 adders scenario).
+
+    Multiplications {o0, o1, o4, o6, o8} with dependent pairs
+    (o0 → o1) and (o6 → o8), o4 independent of all other multiplications
+    (it waits only on the addition o3) — giving the three-clique dependency
+    graph of Fig. 3(b).
+    """
+    b = DFGBuilder("fig3")
+    ins = b.inputs("a", "c", "d", "e", "f", "g", "h", "i", "j")
+    a, c, d, e, f, g, h, i, j = ins
+    o0 = b.mul("o0", a, c)
+    o6 = b.mul("o6", c, d)
+    o3 = b.add("o3", e, f)
+    o1 = b.mul("o1", o0, g)
+    o8 = b.mul("o8", o6, h)
+    o7 = b.add("o7", o6, i)
+    o4 = b.mul("o4", o3, j)
+    o2 = b.add("o2", o1, o3)
+    o5 = b.add("o5", o2, o4)
+    b.output("out", o5)
+    return b.build()
+
+
+def fig4_pathological_dfg(num_taus: int) -> DataflowGraph:
+    """A single time step with ``num_taus`` independent multiplications.
+
+    The Fig. 4(a) stress case: every multiplication is concurrent, so a
+    centralized non-synchronized FSM must distinguish every combination of
+    per-TAU progress — exponential state growth in ``num_taus``.  A final
+    addition joins the products so the graph has one sink.
+    """
+    if num_taus < 1:
+        raise ValueError("need at least one TAU operation")
+    b = DFGBuilder(f"fig4_{num_taus}tau")
+    products = []
+    for k in range(num_taus):
+        x = b.input(f"x{k}")
+        y = b.input(f"y{k}")
+        products.append(b.mul(f"m{k}", x, y))
+    acc = products[0]
+    for k, product in enumerate(products[1:], start=1):
+        acc = b.add(f"a{k}", acc, product)
+    if len(products) == 1:
+        acc = b.add("a1", products[0], b.input("z"))
+    b.output("out", acc)
+    return b.build()

@@ -1,0 +1,157 @@
+"""Benchmark registry: name → (DFG factory, paper allocation).
+
+The allocation strings are the paper's Table 2 resource columns, with
+``T`` marking the telescopic class (multipliers throughout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.dfg import DataflowGraph
+from ..errors import ReproError
+from ..resources.allocation import ResourceAllocation
+from .ar_lattice import ar_lattice
+from .diffeq import differential_equation
+from .ewf import elliptic_wave_filter
+from .fdct import fdct
+from .fir import fir3, fir5
+from .iir import iir2, iir3
+from .paper_examples import paper_fig2_dfg, paper_fig3_dfg
+
+
+@dataclass(frozen=True)
+class BenchmarkEntry:
+    """One registered benchmark with its paper allocation."""
+
+    name: str
+    title: str
+    factory: Callable[[], DataflowGraph]
+    allocation_spec: str
+    in_table2: bool
+
+    def dfg(self) -> DataflowGraph:
+        return self.factory()
+
+    def allocation(self) -> ResourceAllocation:
+        return ResourceAllocation.parse(self.allocation_spec)
+
+
+_REGISTRY: dict[str, BenchmarkEntry] = {}
+
+
+def _register(entry: BenchmarkEntry) -> None:
+    _REGISTRY[entry.name] = entry
+
+
+_register(
+    BenchmarkEntry(
+        name="fir3",
+        title="3rd FIR",
+        factory=fir3,
+        allocation_spec="mul:2T,add:1",
+        in_table2=True,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="fir5",
+        title="5th FIR",
+        factory=fir5,
+        allocation_spec="mul:2T,add:1",
+        in_table2=True,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="iir2",
+        title="2nd IIR",
+        factory=iir2,
+        allocation_spec="mul:2T,add:1",
+        in_table2=True,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="iir3",
+        title="3rd IIR",
+        factory=iir3,
+        allocation_spec="mul:3T,add:2",
+        in_table2=True,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="diffeq",
+        title="Diff.",
+        factory=differential_equation,
+        allocation_spec="mul:2T,add:1,sub:1",
+        in_table2=True,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="ar_lattice",
+        title="AR-lattice",
+        factory=ar_lattice,
+        allocation_spec="mul:4T,add:2",
+        in_table2=True,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="fig2",
+        title="Fig. 2 example",
+        factory=paper_fig2_dfg,
+        allocation_spec="mul:2T,add:1",
+        in_table2=False,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="fig3",
+        title="Fig. 3 example",
+        factory=paper_fig3_dfg,
+        allocation_spec="mul:2T,add:2",
+        in_table2=False,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="fdct",
+        title="8-pt FDCT (extension)",
+        factory=fdct,
+        allocation_spec="mul:2T,add:2,sub:2",
+        in_table2=False,
+    )
+)
+_register(
+    BenchmarkEntry(
+        name="ewf",
+        title="EWF-style (extension)",
+        factory=elliptic_wave_filter,
+        allocation_spec="mul:2T,add:2",
+        in_table2=False,
+    )
+)
+
+
+def benchmark(name: str) -> BenchmarkEntry:
+    """Look up a registered benchmark."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_benchmarks() -> tuple[BenchmarkEntry, ...]:
+    """Every registered benchmark, registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def table2_benchmarks() -> tuple[BenchmarkEntry, ...]:
+    """The six Table 2 rows, paper order."""
+    return tuple(e for e in _REGISTRY.values() if e.in_table2)

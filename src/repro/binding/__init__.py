@@ -1,0 +1,20 @@
+"""Binding: operations to units, values to registers."""
+
+from .binder import BoundDataflowGraph, bind
+from .registers import (
+    Lifetime,
+    RegisterBinding,
+    left_edge_register_binding,
+    value_lifetimes,
+    verify_register_binding,
+)
+
+__all__ = [
+    "BoundDataflowGraph",
+    "Lifetime",
+    "RegisterBinding",
+    "bind",
+    "left_edge_register_binding",
+    "value_lifetimes",
+    "verify_register_binding",
+]

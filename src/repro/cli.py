@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main flows a shell-level surface::
+
+    python -m repro benchmarks
+    python -m repro synthesize diffeq
+    python -m repro synthesize fir5 --allocation "mul:3T,add:2" --verilog out.v
+    python -m repro simulate fir5 --p 0.7 --trace --vcd fir5.vcd
+    python -m repro table1
+    python -m repro table2
+    python -m repro distribution fir5 --p 0.7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.distribution import compare_distributions
+from .api import synthesize
+from .benchmarks.registry import all_benchmarks, benchmark
+from .control.verilog_top import distributed_to_verilog
+from .core.dot import dfg_to_dot
+from .errors import ReproError
+from .resources.allocation import ResourceAllocation
+from .resources.completion import BernoulliCompletion
+from .sim.simulator import simulate
+from .sim.vcd import trace_to_vcd
+
+
+def _synthesize_from_args(args) -> "tuple":
+    entry = benchmark(args.benchmark)
+    allocation = (
+        ResourceAllocation.parse(args.allocation)
+        if args.allocation
+        else entry.allocation()
+    )
+    return entry, synthesize(entry.dfg(), allocation, scheduler=args.scheduler)
+
+
+def _cmd_benchmarks(args) -> int:
+    from .analysis.tables import render_table
+    from .core.analysis import profile
+
+    rows = []
+    for entry in all_benchmarks():
+        prof = profile(entry.dfg())
+        mix = ", ".join(f"{c}:{n}" for c, n in prof.ops_by_class)
+        rows.append(
+            [
+                entry.name,
+                entry.title,
+                str(prof.num_ops),
+                mix,
+                entry.allocation_spec,
+            ]
+        )
+    print(
+        render_table(
+            ["name", "title", "ops", "mix", "paper allocation"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    __, result = _synthesize_from_args(args)
+    print(result.dfg.summary())
+    print()
+    print(result.schedule.describe())
+    print()
+    print(result.bound.describe())
+    print()
+    print(result.distributed.describe())
+    comparison = result.latency_comparison()
+    print()
+    print(f"CENT-SYNC latency: {comparison.sync.bracket_ns()}")
+    print(f"DIST      latency: {comparison.dist.bracket_ns()}")
+    print(f"enhancement      : {comparison.enhancement_column()}")
+    if args.verilog:
+        text = distributed_to_verilog(
+            result.distributed, top_name=f"{result.dfg.name}_control"
+        )
+        with open(args.verilog, "w") as handle:
+            handle.write(text)
+        print(f"\nwrote Verilog to {args.verilog}")
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(
+                dfg_to_dot(
+                    result.dfg,
+                    schedule_arcs=result.order.schedule_arcs,
+                    binding=result.bound.binding,
+                )
+            )
+        print(f"wrote DOT to {args.dot}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    __, result = _synthesize_from_args(args)
+    sim = simulate(
+        result.distributed_system(),
+        result.bound,
+        BernoulliCompletion(args.p),
+        seed=args.seed,
+        iterations=args.iterations,
+        record_trace=args.trace or bool(args.vcd),
+    )
+    print(
+        f"{result.dfg.name}: {sim.cycles} cycles = {sim.latency_ns:.0f} ns "
+        f"at P={args.p} (seed {args.seed})"
+    )
+    if args.iterations > 1:
+        print(
+            f"steady-state throughput: "
+            f"{sim.throughput_cycles():.2f} cycles/iteration "
+            f"({sim.token_overruns} token overruns)"
+        )
+    if args.utilization:
+        from .analysis.utilization import utilization_report
+
+        print()
+        print(utilization_report(result.bound, sim).render())
+    if args.trace:
+        print()
+        print(sim.trace.render())
+    if args.vcd:
+        with open(args.vcd, "w") as handle:
+            handle.write(trace_to_vcd(sim, design_name=result.dfg.name))
+        print(f"wrote VCD to {args.vcd}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .experiments.table1 import run_table1
+
+    result = run_table1(args.benchmark)
+    print(result.render())
+    result.check_shape()
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .experiments.table2 import run_table2
+
+    result = run_table2()
+    print(result.render())
+    result.check_shape()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(include_table1=not args.quick)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_distribution(args) -> int:
+    __, result = _synthesize_from_args(args)
+    comparison = compare_distributions(result.bound, result.taubm, p=args.p)
+    print(comparison.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed synchronous control units for dataflow graphs "
+            "under allocation of telescopic arithmetic units (DATE 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "benchmarks", help="list the registered benchmark DFGs"
+    ).set_defaults(func=_cmd_benchmarks)
+
+    def add_design_args(p):
+        p.add_argument("benchmark", help="registered benchmark name")
+        p.add_argument(
+            "--allocation",
+            help='allocation spec, e.g. "mul:2T,add:1" (default: paper)',
+        )
+        p.add_argument(
+            "--scheduler",
+            choices=("list", "exact"),
+            default="list",
+            help="time-step scheduler (default: list)",
+        )
+
+    p_syn = sub.add_parser(
+        "synthesize", help="run the full flow and print every artifact"
+    )
+    add_design_args(p_syn)
+    p_syn.add_argument("--verilog", help="write controller Verilog here")
+    p_syn.add_argument("--dot", help="write the bound DFG as DOT here")
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_sim = sub.add_parser(
+        "simulate", help="cycle-accurate simulation of the distributed unit"
+    )
+    add_design_args(p_sim)
+    p_sim.add_argument("--p", type=float, default=0.7, help="fast probability")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--iterations", type=int, default=1)
+    p_sim.add_argument(
+        "--trace", action="store_true", help="print the cycle trace"
+    )
+    p_sim.add_argument(
+        "--utilization",
+        action="store_true",
+        help="print per-unit utilization",
+    )
+    p_sim.add_argument("--vcd", help="write a VCD waveform here")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    p_t1.add_argument("benchmark", nargs="?", default="diffeq")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    sub.add_parser(
+        "table2", help="regenerate the paper's Table 2"
+    ).set_defaults(func=_cmd_table2)
+
+    p_rep = sub.add_parser(
+        "report", help="run every experiment and emit a markdown report"
+    )
+    p_rep.add_argument("-o", "--output", help="write the report here")
+    p_rep.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the expensive CENT product minimization (Table 1)",
+    )
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_dist = sub.add_parser(
+        "distribution", help="exact latency distributions (DIST vs SYNC)"
+    )
+    add_design_args(p_dist)
+    p_dist.add_argument("--p", type=float, default=0.7)
+    p_dist.set_defaults(func=_cmd_distribution)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Distributed control-unit integration and export."""
+
+from .distributed import DistributedControlUnit, build_distributed_control_unit
+from .netlist import CompletionNet, completion_netlist
+from .verilog_top import distributed_to_verilog
+
+__all__ = [
+    "CompletionNet",
+    "DistributedControlUnit",
+    "build_distributed_control_unit",
+    "completion_netlist",
+    "distributed_to_verilog",
+]

@@ -1,0 +1,58 @@
+"""Completion-signal netlist of a distributed control unit (paper Fig. 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binding.binder import BoundDataflowGraph
+from ..fsm.model import FSM
+from ..fsm.signals import is_op_completion, op_completion, op_of_completion
+
+
+@dataclass(frozen=True)
+class CompletionNet:
+    """One completion wire: who produces it, which controllers consume it."""
+
+    producer_op: str
+    producer_unit: str
+    consumer_units: tuple[str, ...]
+
+    @property
+    def signal(self) -> str:
+        return op_completion(self.producer_op)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.consumer_units)
+
+    def __str__(self) -> str:
+        sinks = ", ".join(self.consumer_units)
+        return f"{self.signal}: {self.producer_unit} -> [{sinks}]"
+
+
+def completion_netlist(
+    bound: BoundDataflowGraph, controllers: "dict[str, FSM]"
+) -> tuple[CompletionNet, ...]:
+    """All completion wires between controllers, including dead ones.
+
+    A net with zero consumers is exactly what the Fig. 7 optimization
+    removes; callers filter on :attr:`CompletionNet.fanout`.
+    """
+    consumers: dict[str, list[str]] = {}
+    for unit_name, fsm in controllers.items():
+        for signal in fsm.inputs:
+            if is_op_completion(signal):
+                consumers.setdefault(
+                    op_of_completion(signal), []
+                ).append(unit_name)
+    nets = []
+    for unit_name, fsm in controllers.items():
+        for op in bound.ops_on_unit(unit_name):
+            nets.append(
+                CompletionNet(
+                    producer_op=op,
+                    producer_unit=unit_name,
+                    consumer_units=tuple(consumers.get(op, ())),
+                )
+            )
+    return tuple(nets)

@@ -1,0 +1,121 @@
+"""Top-level Verilog for a distributed control unit.
+
+Instantiates every per-unit controller module, wires completion pulses
+between them, and materializes the completion-arrival latches with the
+exact token semantics the simulator implements: a latch sets on a pulse,
+clears when the consuming controller raises the start strobe of the
+waiting operation, and a pulse that coincides with a consumption survives.
+"""
+
+from __future__ import annotations
+
+from ..fsm.signals import is_op_completion, op_of_completion
+from ..fsm.verilog import fsm_to_verilog, sanitize_identifier, start_strobe
+from .distributed import DistributedControlUnit
+
+
+def distributed_to_verilog(
+    unit: DistributedControlUnit, top_name: str = "control_top"
+) -> str:
+    """Render controller modules plus the wiring top level."""
+    chunks: list[str] = []
+    for fsm in unit.controllers.values():
+        chunks.append(fsm_to_verilog(fsm, include_start_strobes=True))
+
+    bound = unit.bound
+    lines: list[str] = []
+    lines.append(f"// Distributed control unit for {bound.dfg.name}")
+    lines.append(f"module {sanitize_identifier(top_name)} (")
+    lines.append("    input  wire clk,")
+    lines.append("    input  wire rst_n,")
+    port_lines: list[str] = []
+    external_inputs: list[str] = []
+    external_outputs: list[str] = []
+    for fsm in unit.controllers.values():
+        for signal in fsm.inputs:
+            if not is_op_completion(signal):
+                external_inputs.append(signal)
+        for signal in fsm.outputs:
+            if not is_op_completion(signal):
+                external_outputs.append(signal)
+    for signal in external_inputs:
+        port_lines.append(f"    input  wire {sanitize_identifier(signal)},")
+    for signal in external_outputs:
+        port_lines.append(f"    output wire {sanitize_identifier(signal)},")
+    if port_lines:
+        port_lines[-1] = port_lines[-1].rstrip(",")
+    lines.extend(port_lines)
+    lines.append(");")
+    lines.append("")
+
+    # Internal completion pulse wires and arrival latches.
+    live = unit.live_nets()
+    for net in live:
+        lines.append(f"  wire pulse_{sanitize_identifier(net.producer_op)};")
+    strobes: set[str] = set()
+    for unit_name, fsm in unit.controllers.items():
+        for op in bound.ops_on_unit(unit_name):
+            strobes.add(op)
+            lines.append(f"  wire st_{sanitize_identifier(op)};")
+    lines.append("")
+    for net in live:
+        producer = sanitize_identifier(net.producer_op)
+        for consumer_unit in net.consumer_units:
+            waiters = [
+                op
+                for op in bound.ops_on_unit(consumer_unit)
+                if net.producer_op in bound.cross_unit_predecessors(op)
+            ]
+            consume = " | ".join(
+                f"st_{sanitize_identifier(w)}" for w in waiters
+            ) or "1'b0"
+            flag = f"flag_{sanitize_identifier(consumer_unit)}_{producer}"
+            lines.append(f"  reg {flag};")
+            lines.append("  always @(posedge clk or negedge rst_n) begin")
+            lines.append(f"    if (!rst_n) {flag} <= 1'b0;")
+            lines.append(
+                f"    else if ({consume}) {flag} <= {flag} & pulse_{producer};"
+            )
+            lines.append(
+                f"    else if (pulse_{producer}) {flag} <= 1'b1;"
+            )
+            lines.append("  end")
+            lines.append(
+                f"  wire eff_{sanitize_identifier(consumer_unit)}_{producer}"
+                f" = {flag} | pulse_{producer};"
+            )
+            lines.append("")
+
+    # Controller instances.
+    for unit_name, fsm in unit.controllers.items():
+        instance = sanitize_identifier(f"u_{unit_name}")
+        lines.append(
+            f"  {sanitize_identifier(fsm.name)} {instance} ("
+        )
+        conns = ["    .clk(clk)", "    .rst_n(rst_n)"]
+        for signal in fsm.inputs:
+            port = sanitize_identifier(signal)
+            if is_op_completion(signal):
+                producer = sanitize_identifier(op_of_completion(signal))
+                conns.append(
+                    f"    .{port}(eff_{sanitize_identifier(unit_name)}_"
+                    f"{producer})"
+                )
+            else:
+                conns.append(f"    .{port}({port})")
+        for signal in fsm.outputs:
+            port = sanitize_identifier(signal)
+            if is_op_completion(signal):
+                producer = sanitize_identifier(op_of_completion(signal))
+                conns.append(f"    .{port}(pulse_{producer})")
+            else:
+                conns.append(f"    .{port}({port})")
+        for op in bound.ops_on_unit(unit_name):
+            strobe = sanitize_identifier(start_strobe(op))
+            conns.append(f"    .{strobe}(st_{sanitize_identifier(op)})")
+        lines.append(",\n".join(conns))
+        lines.append("  );")
+        lines.append("")
+    lines.append("endmodule")
+    chunks.append("\n".join(lines) + "\n")
+    return "\n\n".join(chunks)

@@ -1,0 +1,63 @@
+"""Core dataflow-graph model and analyses."""
+
+from .analysis import (
+    GraphProfile,
+    alap_start_times,
+    asap_start_times,
+    critical_path,
+    finish_times,
+    longest_path_length,
+    mobility,
+    profile,
+    schedule_length,
+    uniform_durations,
+)
+from .builder import DFGBuilder
+from .dfg import (
+    ConstRef,
+    DataflowGraph,
+    InputRef,
+    Operand,
+    Operation,
+    OpRef,
+    reachable_from,
+    transitive_dependency,
+)
+from .dot import dfg_to_dot
+from .ops import (
+    DEFAULT_TELESCOPIC_CLASSES,
+    OpType,
+    ResourceClass,
+    op_type_from_symbol,
+)
+from .validate import concurrent_pairs, validate_dfg, validate_extra_edges
+
+__all__ = [
+    "ConstRef",
+    "DEFAULT_TELESCOPIC_CLASSES",
+    "DFGBuilder",
+    "DataflowGraph",
+    "GraphProfile",
+    "InputRef",
+    "OpRef",
+    "OpType",
+    "Operand",
+    "Operation",
+    "ResourceClass",
+    "alap_start_times",
+    "asap_start_times",
+    "concurrent_pairs",
+    "critical_path",
+    "dfg_to_dot",
+    "finish_times",
+    "longest_path_length",
+    "mobility",
+    "op_type_from_symbol",
+    "profile",
+    "reachable_from",
+    "schedule_length",
+    "transitive_dependency",
+    "uniform_durations",
+    "validate_dfg",
+    "validate_extra_edges",
+]

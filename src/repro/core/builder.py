@@ -1,0 +1,77 @@
+"""Convenience builder for dataflow graphs.
+
+:class:`DFGBuilder` wraps :class:`~repro.core.dfg.DataflowGraph` with an
+expression-like API so benchmark graphs read close to the arithmetic they
+implement::
+
+    b = DFGBuilder("fir3")
+    x = [b.input(f"x{i}") for i in range(4)]
+    taps = [b.mul(f"m{i}", x[i], coeff) for i, coeff in enumerate([3, 5, 7, 2])]
+    acc = b.add("a0", taps[0], taps[1])
+    acc = b.add("a1", acc, taps[2])
+    acc = b.add("a2", acc, taps[3])
+    b.output("y", acc)
+    dfg = b.build()
+"""
+
+from __future__ import annotations
+
+from .dfg import DataflowGraph, InputRef, OpRef, Operand
+from .ops import OpType
+
+
+class DFGBuilder:
+    """Fluent construction of a :class:`DataflowGraph`."""
+
+    def __init__(self, name: str) -> None:
+        self._dfg = DataflowGraph(name)
+        self._auto_counter = 0
+
+    # -- declarations ---------------------------------------------------
+    def input(self, name: str) -> InputRef:
+        """Declare a primary input."""
+        return self._dfg.add_input(name)
+
+    def inputs(self, *names: str) -> list[InputRef]:
+        """Declare several primary inputs at once."""
+        return [self._dfg.add_input(n) for n in names]
+
+    def output(self, name: str, op: "OpRef | str") -> None:
+        """Declare a primary output."""
+        self._dfg.set_output(name, op)
+
+    # -- operations -----------------------------------------------------
+    def op(
+        self, name: str, op_type: OpType, *sources: "Operand | str | int"
+    ) -> OpRef:
+        """Add an arbitrary operation."""
+        return self._dfg.add_op(name, op_type, *sources)
+
+    def mul(self, name: str, a, b) -> OpRef:
+        """Add a multiplication (multiplier resource class)."""
+        return self._dfg.add_op(name, OpType.MUL, a, b)
+
+    def add(self, name: str, a, b) -> OpRef:
+        """Add an addition (adder resource class)."""
+        return self._dfg.add_op(name, OpType.ADD, a, b)
+
+    def sub(self, name: str, a, b) -> OpRef:
+        """Add a subtraction (subtractor resource class)."""
+        return self._dfg.add_op(name, OpType.SUB, a, b)
+
+    def lt(self, name: str, a, b) -> OpRef:
+        """Add a less-than comparison (subtractor resource class)."""
+        return self._dfg.add_op(name, OpType.LT, a, b)
+
+    def auto_name(self, prefix: str) -> str:
+        """Generate a fresh operation name with the given prefix."""
+        self._auto_counter += 1
+        return f"{prefix}{self._auto_counter}"
+
+    # -- finalization ---------------------------------------------------
+    def build(self) -> DataflowGraph:
+        """Validate and return the constructed graph."""
+        from .validate import validate_dfg
+
+        validate_dfg(self._dfg)
+        return self._dfg

@@ -1,0 +1,87 @@
+"""GraphViz DOT export for dataflow graphs and schedules.
+
+Regenerates the *visual* artifacts of the paper (Figs. 2(a,b), 3(a,c)):
+plain DFGs, TAUBM DFGs with split time steps, and scheduled DFGs with
+schedule arcs drawn dashed, exactly as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .dfg import ConstRef, DataflowGraph, InputRef
+from .ops import ResourceClass
+
+_CLASS_SHAPE = {
+    ResourceClass.MULTIPLIER: "circle",
+    ResourceClass.ADDER: "circle",
+    ResourceClass.SUBTRACTOR: "circle",
+    ResourceClass.ALU: "box",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def dfg_to_dot(
+    dfg: DataflowGraph,
+    schedule_arcs: "tuple[tuple[str, str], ...]" = (),
+    start_times: "Mapping[str, int] | None" = None,
+    binding: "Mapping[str, str] | None" = None,
+    include_io: bool = True,
+) -> str:
+    """Render a DFG (optionally scheduled/bound) as a DOT digraph.
+
+    * ``schedule_arcs`` are drawn as dashed edges (paper Fig. 3(c)),
+    * ``start_times`` groups operations into same-rank time steps,
+    * ``binding`` annotates each node with its arithmetic unit.
+    """
+    lines = [f"digraph {_quote(dfg.name)} {{", "  rankdir=TB;"]
+    for op in dfg:
+        label = f"{op.name}\\n{op.op_type.symbol}"
+        if binding and op.name in binding:
+            label += f"\\n[{binding[op.name]}]"
+        shape = _CLASS_SHAPE.get(op.resource_class, "ellipse")
+        lines.append(
+            f"  {_quote(op.name)} [label={_quote(label)} shape={shape}];"
+        )
+    if include_io:
+        for name in dfg.inputs:
+            lines.append(
+                f"  {_quote('in_' + name)} "
+                f"[label={_quote(name)} shape=plaintext];"
+            )
+        for out_name in dfg.outputs:
+            lines.append(
+                f"  {_quote('out_' + out_name)} "
+                f"[label={_quote(out_name)} shape=plaintext];"
+            )
+    for op in dfg:
+        for operand in op.operands:
+            if isinstance(operand, InputRef) and include_io:
+                lines.append(
+                    f"  {_quote('in_' + operand.name)} -> {_quote(op.name)};"
+                )
+            elif isinstance(operand, ConstRef):
+                continue
+        for pred in dfg.predecessors(op.name):
+            lines.append(f"  {_quote(pred)} -> {_quote(op.name)};")
+    if include_io:
+        for out_name, op_name in dfg.outputs.items():
+            lines.append(
+                f"  {_quote(op_name)} -> {_quote('out_' + out_name)};"
+            )
+    for u, v in schedule_arcs:
+        lines.append(
+            f"  {_quote(u)} -> {_quote(v)} [style=dashed constraint=true];"
+        )
+    if start_times:
+        by_step: dict[int, list[str]] = {}
+        for name, step in start_times.items():
+            by_step.setdefault(step, []).append(name)
+        for step in sorted(by_step):
+            members = " ".join(_quote(n) for n in sorted(by_step[step]))
+            lines.append(f"  {{ rank=same; {members} }}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A dataflow graph is malformed (cycles, dangling references, ...)."""
+
+
+class SchedulingError(ReproError):
+    """A schedule could not be constructed under the given constraints."""
+
+
+class BindingError(ReproError):
+    """Operations could not be bound to the allocated arithmetic units."""
+
+
+class AllocationError(ReproError):
+    """A resource allocation is inconsistent with the dataflow graph."""
+
+
+class FSMError(ReproError):
+    """A finite state machine is malformed or could not be derived."""
+
+
+class SimulationError(ReproError):
+    """The cycle-accurate simulation reached an inconsistent state."""
+
+
+class LogicError(ReproError):
+    """A boolean-logic object (cover, cube, function) is malformed."""

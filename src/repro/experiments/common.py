@@ -1,0 +1,21 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from ..api import SynthesisResult, synthesize
+from ..benchmarks.registry import BenchmarkEntry, benchmark
+
+
+def synthesize_benchmark(
+    name: str, scheduler: str = "list"
+) -> SynthesisResult:
+    """Run the full flow on a registered benchmark's paper allocation."""
+    entry = benchmark(name)
+    return synthesize(entry.dfg(), entry.allocation(), scheduler=scheduler)
+
+
+def synthesize_entry(
+    entry: BenchmarkEntry, scheduler: str = "list"
+) -> SynthesisResult:
+    """Run the full flow on a registry entry."""
+    return synthesize(entry.dfg(), entry.allocation(), scheduler=scheduler)

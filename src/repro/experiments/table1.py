@@ -1,0 +1,83 @@
+"""Experiment T1 — reproduce Table 1 (controller area on Diff.).
+
+Derives the three controller styles for the HAL differential-equation
+benchmark under the paper's allocation (2 TAU multipliers, 1 adder,
+1 subtractor) and reports the paper's columns: I/O, states, FFs and
+combinational/sequential area — for CENT-FSM, CENT-SYNC-FSM, the
+aggregated DIST-FSM and each per-unit D-FSM.
+
+Expected shape (the claims of §5): CENT-SYNC is the smallest;
+DIST costs a few× CENT-SYNC in sequential area (controller replication
+plus completion latches); CENT is by far the largest combinationally
+because one machine enumerates all inter-unit interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import render_table
+from ..api import SynthesisResult
+from ..fsm.area import FSMAreaReport, fsm_area
+from .common import synthesize_benchmark
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All rows of the reproduced Table 1."""
+
+    benchmark: str
+    cent: FSMAreaReport
+    cent_sync: FSMAreaReport
+    dist: FSMAreaReport
+    dist_components: tuple[FSMAreaReport, ...]
+
+    def rows(self) -> list[list[str]]:
+        reports = [self.cent, self.cent_sync, self.dist]
+        reports.extend(self.dist_components)
+        return [
+            [
+                r.name,
+                r.io_column(),
+                str(r.num_states),
+                str(r.num_flip_flops),
+                r.area_column(),
+            ]
+            for r in reports
+        ]
+
+    def render(self) -> str:
+        header = ["FSM", "I/O", "States", "FFs", "Area(Com./Seq.)"]
+        return (
+            f"Table 1 — area analysis for {self.benchmark}\n"
+            + render_table(header, self.rows())
+        )
+
+    def check_shape(self) -> None:
+        """Assert the paper's qualitative area ordering."""
+        assert (
+            self.cent_sync.total_area < self.dist.total_area
+        ), "CENT-SYNC must be smaller than DIST"
+        assert (
+            self.dist.combinational_area < self.cent.combinational_area
+        ), "DIST must be combinationally smaller than CENT"
+        assert self.cent.num_states > self.dist.num_states
+
+
+def run_table1(
+    benchmark_name: str = "diffeq",
+    encoding_style: str = "binary",
+    result: "SynthesisResult | None" = None,
+) -> Table1Result:
+    """Regenerate Table 1 (optionally reusing a synthesis result)."""
+    res = result or synthesize_benchmark(benchmark_name)
+    dist = res.distributed
+    cent_sync_report = fsm_area(res.cent_sync_fsm, encoding_style)
+    cent_report = fsm_area(res.cent_fsm, encoding_style)
+    return Table1Result(
+        benchmark=res.dfg.name,
+        cent=cent_report,
+        cent_sync=cent_sync_report,
+        dist=dist.total_area(encoding_style),
+        dist_components=dist.component_areas(encoding_style),
+    )

@@ -1,0 +1,216 @@
+"""Algorithm 1: per-arithmetic-unit controller FSM derivation (paper §4.2).
+
+For a telescopic unit ``T`` with bound operations ``O_0 .. O_n`` (in chain
+order), the derived FSM has, per operation:
+
+* ``S_i`` — first execution cycle.  The CSG's completion signal ``C_T``
+  selects between finishing now (fast operands) and extending into
+* ``SX_i`` (the paper's ``S_i'``) — the guaranteed second/last cycle, and
+* ``R_i`` — a ready state entered when ``O_i``'s cross-unit direct
+  predecessors have not all completed yet (only generated when such
+  predecessors exist).
+
+Completing transitions assert ``OF_i RE_i CC_i`` (operand fetch, register
+enable, operation completion); the extension transition holds ``OF_i``
+only.  Guards of the form "not all predecessors done" are expanded into
+disjoint cubes by :func:`repro.fsm.model.not_all_cubes`.
+
+Fixed-delay units get the same construction minus ``C_T`` and the ``SX``
+states — every operation completes in its single ``S`` cycle.
+
+The FSMs loop: the successor of ``O_n`` is ``O_0`` (paper step 4's wrap),
+matching the iterative execution of DSP dataflow graphs.
+"""
+
+from __future__ import annotations
+
+from ..binding.binder import BoundDataflowGraph
+from ..errors import FSMError
+from .model import FSM, Transition, all_cube, make_transition, not_all_cubes
+from .signals import (
+    op_completion,
+    operand_fetch,
+    register_enable,
+    state_exec,
+    state_extend,
+    state_ready,
+    unit_completion,
+)
+
+
+def derive_unit_controller(
+    bound: BoundDataflowGraph, unit_name: str
+) -> FSM:
+    """Derive the arithmetic-unit controller FSM for one unit.
+
+    Implements Algorithm 1 for telescopic units and its fixed-delay
+    reduction ("remove C_T, the S' states and their transitions") for
+    conventional units.
+    """
+    ops = bound.ops_on_unit(unit_name)
+    if not ops:
+        raise FSMError(f"unit {unit_name!r} has no bound operations")
+    unit = bound.allocation.unit(unit_name)
+    telescopic = unit.is_telescopic
+
+    preds = {o: bound.cross_unit_predecessors(o) for o in ops}
+    pred_signals = {
+        o: tuple(op_completion(p) for p in preds[o]) for o in ops
+    }
+
+    # Worst-level cycle count: a two-level TAU has one extension state
+    # (the paper's S_i'); deeper telescopes chain further extensions.
+    max_cycles = (
+        bound.allocation.max_cycles_for(unit_name) if telescopic else 1
+    )
+    states: list[str] = []
+    transitions: list[Transition] = []
+    for op in ops:
+        if pred_signals[op]:
+            states.append(state_ready(op))
+        states.append(state_exec(op))
+        for phase in range(2, max_cycles + 1):
+            states.append(state_extend(op, phase))
+
+    inputs: list[str] = []
+    if telescopic:
+        inputs.append(unit_completion(unit_name))
+    for op in ops:
+        for signal in pred_signals[op]:
+            if signal not in inputs:
+                inputs.append(signal)
+
+    outputs: list[str] = []
+    for op in ops:
+        outputs.extend(
+            (operand_fetch(op), register_enable(op), op_completion(op))
+        )
+
+    c_t = unit_completion(unit_name)
+    count = len(ops)
+    for i, op in enumerate(ops):
+        nxt = ops[(i + 1) % count]
+        nxt_preds = pred_signals[nxt]
+        completing_outputs = (
+            operand_fetch(op),
+            register_enable(op),
+            op_completion(op),
+        )
+
+        def completing(source: str, base: "dict[str, bool]") -> None:
+            """Step-3/4 transitions out of a (last) execution cycle."""
+            if nxt_preds:
+                guard = dict(base)
+                guard.update(all_cube(nxt_preds))
+                transitions.append(
+                    make_transition(
+                        source,
+                        state_exec(nxt),
+                        guard,
+                        completing_outputs,
+                        starts=(nxt,),
+                        completes=(op,),
+                        queries=nxt,
+                    )
+                )
+                for cube in not_all_cubes(nxt_preds):
+                    guard = dict(base)
+                    guard.update(cube)
+                    transitions.append(
+                        make_transition(
+                            source,
+                            state_ready(nxt),
+                            guard,
+                            completing_outputs,
+                            completes=(op,),
+                            queries=nxt,
+                        )
+                    )
+            else:
+                transitions.append(
+                    make_transition(
+                        source,
+                        state_exec(nxt),
+                        dict(base),
+                        completing_outputs,
+                        starts=(nxt,),
+                        completes=(op,),
+                    )
+                )
+
+        if telescopic:
+            # [S_i -> S_i'] : C_T' / OF_i  (extension, operands held),
+            # chained once per extra cycle of the worst telescope level.
+            cycle_states = [state_exec(op)] + [
+                state_extend(op, phase)
+                for phase in range(2, max_cycles + 1)
+            ]
+            for current, nxt_state in zip(cycle_states, cycle_states[1:]):
+                transitions.append(
+                    make_transition(
+                        current,
+                        nxt_state,
+                        {c_t: False},
+                        (operand_fetch(op),),
+                    )
+                )
+                # [S -> ...] : C_T · (preds) / OF_i RE_i CC_i
+                completing(current, {c_t: True})
+            # Last cycle always completes: (preds) / OF_i RE_i CC_i
+            completing(cycle_states[-1], {})
+        else:
+            completing(state_exec(op), {})
+
+        # Ready-state self-loop and release (step 4).
+        my_preds = pred_signals[op]
+        if my_preds:
+            transitions.append(
+                make_transition(
+                    state_ready(op),
+                    state_exec(op),
+                    all_cube(my_preds),
+                    (),
+                    starts=(op,),
+                    queries=op,
+                )
+            )
+            for cube in not_all_cubes(my_preds):
+                transitions.append(
+                    make_transition(
+                        state_ready(op),
+                        state_ready(op),
+                        cube,
+                        (),
+                        queries=op,
+                    )
+                )
+
+    first = ops[0]
+    if pred_signals[first]:
+        initial = state_ready(first)
+        initial_starts: frozenset[str] = frozenset()
+    else:
+        initial = state_exec(first)
+        initial_starts = frozenset({first})
+
+    fsm = FSM(
+        name=f"D-FSM-{unit_name}",
+        states=tuple(states),
+        initial=initial,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        transitions=tuple(transitions),
+        initial_starts=initial_starts,
+    )
+    fsm.validate()
+    return fsm
+
+
+def derive_all_unit_controllers(
+    bound: BoundDataflowGraph,
+) -> dict[str, FSM]:
+    """Controllers for every unit with at least one bound operation."""
+    return {
+        unit.name: derive_unit_controller(bound, unit.name)
+        for unit in bound.used_units()
+    }

@@ -1,0 +1,162 @@
+"""FSM optimizations: reachability pruning and signal pruning.
+
+The distributed integrator (paper Fig. 7) removes completion signals no
+other controller listens to ("C_CO(0) is removed since any other
+controllers do not receive it"); :func:`prune_outputs` implements that as a
+generic output-signal restriction.  :func:`remove_unreachable_states` keeps
+generated FSMs tight after transformations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import FSMError
+from .model import FSM, Transition
+
+
+def remove_unreachable_states(fsm: FSM) -> FSM:
+    """Drop states (and their transitions) unreachable from the initial."""
+    reachable = {fsm.initial}
+    frontier = [fsm.initial]
+    while frontier:
+        state = frontier.pop()
+        for t in fsm.transitions_from(state):
+            if t.target not in reachable:
+                reachable.add(t.target)
+                frontier.append(t.target)
+    if reachable == set(fsm.states):
+        return fsm
+    states = tuple(s for s in fsm.states if s in reachable)
+    transitions = tuple(
+        t for t in fsm.transitions if t.source in reachable
+    )
+    referenced_inputs = {
+        name for t in transitions for name, _ in t.guard
+    }
+    referenced_outputs = set().union(
+        *(t.outputs for t in transitions)
+    ) if transitions else set()
+    pruned = FSM(
+        name=fsm.name,
+        states=states,
+        initial=fsm.initial,
+        inputs=tuple(i for i in fsm.inputs if i in referenced_inputs),
+        outputs=tuple(o for o in fsm.outputs if o in referenced_outputs),
+        transitions=transitions,
+        initial_starts=fsm.initial_starts,
+    )
+    pruned.validate()
+    return pruned
+
+
+def prune_outputs(fsm: FSM, keep: Iterable[str]) -> FSM:
+    """Restrict the FSM's outputs to ``keep`` (Fig. 7 signal optimization).
+
+    Transition metadata (``starts``/``completes``) is untouched: pruning a
+    wire changes the synthesized interface, never the behaviour.
+    """
+    keep_set = set(keep)
+    unknown = keep_set - set(fsm.outputs)
+    if unknown:
+        raise FSMError(f"cannot keep undeclared outputs {sorted(unknown)}")
+    transitions = tuple(
+        Transition(
+            source=t.source,
+            target=t.target,
+            guard=t.guard,
+            outputs=frozenset(t.outputs & keep_set),
+            starts=t.starts,
+            completes=t.completes,
+            queries=t.queries,
+        )
+        for t in fsm.transitions
+    )
+    pruned = FSM(
+        name=fsm.name,
+        states=fsm.states,
+        initial=fsm.initial,
+        inputs=fsm.inputs,
+        outputs=tuple(o for o in fsm.outputs if o in keep_set),
+        transitions=transitions,
+        initial_starts=fsm.initial_starts,
+    )
+    pruned.validate()
+    return pruned
+
+
+def merge_equivalent_states(fsm: FSM) -> FSM:
+    """Classic Moore-style partition refinement on (outputs, successors).
+
+    Conservative state minimization: two states merge when, for every
+    input valuation over the union of referenced inputs, they take
+    transitions with identical outputs, metadata and equivalent targets.
+    Generated controllers are usually already minimal; this pass exists to
+    prove it (tests assert no reduction on Algorithm-1 machines).
+    """
+    names = sorted({n for t in fsm.transitions for n, _ in t.guard})
+    import itertools
+
+    valuations = [
+        dict(zip(names, values))
+        for values in itertools.product((False, True), repeat=len(names))
+    ]
+
+    def signature(state: str, classes: dict[str, int]) -> tuple:
+        rows = []
+        for valuation in valuations:
+            t = fsm.step(state, valuation)
+            rows.append(
+                (classes[t.target], t.outputs, t.starts, t.completes)
+            )
+        return tuple(rows)
+
+    classes = {state: 0 for state in fsm.states}
+    while True:
+        signatures = {s: signature(s, classes) for s in fsm.states}
+        buckets: dict[tuple, int] = {}
+        new_classes: dict[str, int] = {}
+        for state in fsm.states:
+            key = (classes[state], signatures[state])
+            buckets.setdefault(key, len(buckets))
+            new_classes[state] = buckets[key]
+        if new_classes == classes:
+            break
+        classes = new_classes
+    if len(set(classes.values())) == fsm.num_states:
+        return fsm
+    representative: dict[int, str] = {}
+    for state in fsm.states:  # first state of each class represents it
+        representative.setdefault(classes[state], state)
+    rename = {s: representative[classes[s]] for s in fsm.states}
+    merged_transitions = []
+    seen = set()
+    for t in fsm.transitions:
+        if rename[t.source] != t.source:
+            continue
+        merged = Transition(
+            source=t.source,
+            target=rename[t.target],
+            guard=t.guard,
+            outputs=t.outputs,
+            starts=t.starts,
+            completes=t.completes,
+            queries=t.queries,
+        )
+        key = (merged.source, merged.target, merged.guard, merged.outputs)
+        if key not in seen:
+            seen.add(key)
+            merged_transitions.append(merged)
+    merged_fsm = FSM(
+        name=fsm.name,
+        states=tuple(
+            s for s in fsm.states if rename[s] == s
+        ),
+        initial=rename[fsm.initial],
+        inputs=fsm.inputs,
+        outputs=fsm.outputs,
+        transitions=tuple(merged_transitions),
+        initial_starts=fsm.initial_starts,
+    )
+    merged_fsm.validate()
+    return merged_fsm

@@ -1,0 +1,91 @@
+"""Signal-name conventions shared by every controller generator.
+
+The paper's signal vocabulary (Figs. 5–7):
+
+* ``C_<unit>`` — completion signal of a telescopic unit's CSG (``C_T``),
+* ``CC_<op>`` — completion signal of an operation, produced by the
+  controller executing it (``C_CO(i)``) and consumed as ``C_PO(i)`` by the
+  controllers of its direct successors,
+* ``OF_<op>`` — operand fetch (select the operands at the unit's inputs),
+* ``RE_<op>`` — register enable (latch the unit's result).
+
+Keeping the naming in one module means the FSM builders, the distributed
+integrator, the simulator and the Verilog backend can never disagree about
+a wire's name.
+"""
+
+from __future__ import annotations
+
+_UNIT_COMPLETION_PREFIX = "C_"
+_OP_COMPLETION_PREFIX = "CC_"
+_OPERAND_FETCH_PREFIX = "OF_"
+_REGISTER_ENABLE_PREFIX = "RE_"
+
+
+def unit_completion(unit_name: str) -> str:
+    """The CSG completion signal of a telescopic unit (``C_T``)."""
+    return f"{_UNIT_COMPLETION_PREFIX}{unit_name}"
+
+
+def op_completion(op_name: str) -> str:
+    """The completion signal of an operation (``C_CO`` / ``C_PO``)."""
+    return f"{_OP_COMPLETION_PREFIX}{op_name}"
+
+
+def operand_fetch(op_name: str) -> str:
+    """The operand-fetch signal of an operation (``OF_i``)."""
+    return f"{_OPERAND_FETCH_PREFIX}{op_name}"
+
+
+def register_enable(op_name: str) -> str:
+    """The register-enable signal of an operation (``RE_i``)."""
+    return f"{_REGISTER_ENABLE_PREFIX}{op_name}"
+
+
+def is_op_completion(signal: str) -> bool:
+    """Whether a signal is an operation-completion wire."""
+    return signal.startswith(_OP_COMPLETION_PREFIX)
+
+
+def is_unit_completion(signal: str) -> bool:
+    """Whether a signal is a unit (CSG) completion wire."""
+    return signal.startswith(_UNIT_COMPLETION_PREFIX) and not signal.startswith(
+        _OP_COMPLETION_PREFIX
+    )
+
+
+def op_of_completion(signal: str) -> str:
+    """Invert :func:`op_completion`."""
+    if not is_op_completion(signal):
+        raise ValueError(f"{signal!r} is not an operation-completion signal")
+    return signal[len(_OP_COMPLETION_PREFIX) :]
+
+
+def unit_of_completion(signal: str) -> str:
+    """Invert :func:`unit_completion`."""
+    if not is_unit_completion(signal):
+        raise ValueError(f"{signal!r} is not a unit-completion signal")
+    return signal[len(_UNIT_COMPLETION_PREFIX) :]
+
+
+def state_exec(op_name: str) -> str:
+    """Name of the first-cycle execution state of an op (``S_i``)."""
+    return f"S_{op_name}"
+
+
+def state_extend(op_name: str, phase: int = 2) -> str:
+    """Name of the ``phase``-th execution cycle state of a TAU op.
+
+    Phase 2 is the paper's ``S_i'``; multi-level VCAUs chain further
+    extension states (phase 3, 4, ...).
+    """
+    if phase < 2:
+        raise ValueError("extension states start at phase 2")
+    if phase == 2:
+        return f"SX_{op_name}"
+    return f"SX{phase}_{op_name}"
+
+
+def state_ready(op_name: str) -> str:
+    """Name of the ready/wait state preceding an op (``R_i``)."""
+    return f"R_{op_name}"

@@ -1,0 +1,154 @@
+"""Centralized TAUBM FSMs (paper §2.2 and Fig. 4(b)).
+
+The synchronized centralized controller — the paper's **CENT-SYNC-FSM** —
+is the natural multi-TAU expansion of Benini's TAUBM: one state per time
+step, and for steps containing TAU operations a conditional extension
+state entered unless *all* the step's telescopic units report completion
+(the ``C_TM1 · C_TM2`` conjunction of Fig. 4(b)).  With a single TAU this
+reduces exactly to the Fig. 2(c) machine.
+
+Synchronization is the point: every operation of a step — including fast
+TAU operations and fixed-delay operations — latches its result at the end
+of the step, so independent operations in different steps can never
+overlap beyond what the time-step schedule already encodes.  Both problems
+of §2.3 (the ``1 − Pⁿ`` extension probability and the lost concurrency)
+are visible consequences reproduced by the simulator and the analytic
+model.
+"""
+
+from __future__ import annotations
+
+from ..binding.binder import BoundDataflowGraph
+from ..errors import FSMError
+from ..scheduling.schedule import TaubmSchedule
+from .model import FSM, Transition, all_cube, make_transition, not_all_cubes
+from .signals import (
+    operand_fetch,
+    register_enable,
+    unit_completion,
+)
+
+
+def _step_state(index: int) -> str:
+    return f"T{index}"
+
+
+def _extension_state(index: int, phase: int = 2) -> str:
+    """Extension state(s) of a step; phase 2 is the paper's ``T_i'``."""
+    if phase == 2:
+        return f"TX{index}"
+    return f"TX{index}_{phase}"
+
+
+def derive_cent_sync_fsm(
+    taubm: TaubmSchedule,
+    bound: BoundDataflowGraph,
+    name: str = "CENT-SYNC-FSM",
+) -> FSM:
+    """Derive the synchronized centralized TAUBM FSM.
+
+    ``bound`` supplies the operation→unit binding, needed because the
+    completion guard of a step is the conjunction of the *unit* completion
+    signals hosting the step's TAU operations.
+    """
+    if not taubm.steps:
+        raise FSMError("TAUBM schedule has no steps")
+    states: list[str] = []
+    inputs: list[str] = []
+    outputs: list[str] = []
+    transitions: list[Transition] = []
+
+    step_units: list[tuple[str, ...]] = []
+    step_cycles: list[int] = []
+    for step in taubm.steps:
+        units = []
+        for op in step.tau_ops:
+            unit = bound.unit_of(op)
+            if not unit.is_telescopic:
+                raise FSMError(
+                    f"op {op!r} marked telescopic in the schedule but bound "
+                    f"to fixed unit {unit.name!r}"
+                )
+            if unit.name in units:
+                raise FSMError(
+                    f"two TAU ops of step {step.index} share unit "
+                    f"{unit.name!r}; the time-step schedule is infeasible"
+                )
+            units.append(unit.name)
+        step_units.append(tuple(units))
+        # Worst-case cycles of this step: the slowest telescope level of
+        # any of its units (1 for TAU-free steps).
+        max_cycles = max(
+            (bound.allocation.max_cycles_for(u) for u in units), default=1
+        )
+        step_cycles.append(max_cycles)
+        states.append(_step_state(step.index))
+        for phase in range(2, max_cycles + 1):
+            states.append(_extension_state(step.index, phase))
+        for u in units:
+            signal = unit_completion(u)
+            if signal not in inputs:
+                inputs.append(signal)
+        for op in step.ops:
+            outputs.extend((operand_fetch(op), register_enable(op)))
+
+    num_steps = len(taubm.steps)
+    for step, units, max_cycles in zip(taubm.steps, step_units, step_cycles):
+        next_index = (step.index + 1) % num_steps
+        next_ops = taubm.steps[next_index].ops
+        fetch = tuple(operand_fetch(op) for op in step.ops)
+        latch = fetch + tuple(register_enable(op) for op in step.ops)
+        completion_signals = tuple(unit_completion(u) for u in units)
+        if step.has_extension:
+            cycle_states = [_step_state(step.index)] + [
+                _extension_state(step.index, phase)
+                for phase in range(2, max_cycles + 1)
+            ]
+            for current, extension in zip(cycle_states, cycle_states[1:]):
+                transitions.append(
+                    make_transition(
+                        current,
+                        _step_state(next_index),
+                        all_cube(completion_signals),
+                        latch,
+                        starts=next_ops,
+                        completes=step.ops,
+                    )
+                )
+                for cube in not_all_cubes(completion_signals):
+                    transitions.append(
+                        make_transition(current, extension, cube, fetch)
+                    )
+            transitions.append(
+                make_transition(
+                    cycle_states[-1],
+                    _step_state(next_index),
+                    {},
+                    latch,
+                    starts=next_ops,
+                    completes=step.ops,
+                )
+            )
+        else:
+            transitions.append(
+                make_transition(
+                    _step_state(step.index),
+                    _step_state(next_index),
+                    {},
+                    latch,
+                    starts=next_ops,
+                    completes=step.ops,
+                )
+            )
+
+    fsm = FSM(
+        name=name,
+        states=tuple(states),
+        initial=_step_state(0),
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        transitions=tuple(transitions),
+        initial_starts=frozenset(taubm.steps[0].ops),
+    )
+    fsm.validate()
+    return fsm

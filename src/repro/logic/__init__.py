@@ -1,0 +1,34 @@
+"""Two-level boolean minimization and area modelling."""
+
+from .area import (
+    AREA_PER_FLIP_FLOP,
+    AREA_PER_LITERAL,
+    AREA_PER_OR_INPUT,
+    FunctionArea,
+    LogicBlockArea,
+    cover_area,
+    function_area,
+)
+from .quine_mccluskey import (
+    EXACT_WIDTH_LIMIT,
+    minimize,
+    prime_implicants,
+    verify_cover,
+)
+from .terms import BooleanFunction, Cube
+
+__all__ = [
+    "AREA_PER_FLIP_FLOP",
+    "AREA_PER_LITERAL",
+    "AREA_PER_OR_INPUT",
+    "BooleanFunction",
+    "Cube",
+    "EXACT_WIDTH_LIMIT",
+    "FunctionArea",
+    "LogicBlockArea",
+    "cover_area",
+    "function_area",
+    "minimize",
+    "prime_implicants",
+    "verify_cover",
+]

@@ -1,0 +1,94 @@
+"""Two-level area model for synthesized logic.
+
+Mirrors the unit convention visible in the paper's Table 1 (sequential
+area divides evenly by flip-flop count, 11 units per FF): combinational
+area is counted in *literals* — one unit per AND-plane literal plus one per
+OR-plane input — and sequential area is a fixed cost per flip-flop.  The
+absolute scale is arbitrary; all Table 1 claims are relative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .quine_mccluskey import minimize
+from .terms import BooleanFunction, Cube
+
+#: Sequential area units per flip-flop (the paper's visible convention).
+AREA_PER_FLIP_FLOP = 11.0
+
+#: Combinational area units per product-term literal.
+AREA_PER_LITERAL = 1.0
+
+#: Combinational area units per OR-plane input (one per product term
+#: feeding a multi-term output).
+AREA_PER_OR_INPUT = 1.0
+
+
+@dataclass(frozen=True)
+class FunctionArea:
+    """Area of one minimized single-output function."""
+
+    name: str
+    num_terms: int
+    num_literals: int
+
+    @property
+    def combinational_area(self) -> float:
+        """Literal cost plus OR-plane cost (absent for 0/1-term covers)."""
+        or_inputs = self.num_terms if self.num_terms > 1 else 0
+        return (
+            AREA_PER_LITERAL * self.num_literals
+            + AREA_PER_OR_INPUT * or_inputs
+        )
+
+
+def function_area(name: str, function: BooleanFunction) -> FunctionArea:
+    """Minimize a function and report its two-level area."""
+    cover = minimize(function)
+    return cover_area(name, cover)
+
+
+def cover_area(name: str, cover: tuple[Cube, ...]) -> FunctionArea:
+    """Area of an already minimized cover."""
+    return FunctionArea(
+        name=name,
+        num_terms=len(cover),
+        num_literals=sum(c.num_literals for c in cover),
+    )
+
+
+@dataclass(frozen=True)
+class LogicBlockArea:
+    """Aggregate area of a block: many functions plus its flip-flops."""
+
+    name: str
+    functions: tuple[FunctionArea, ...]
+    num_flip_flops: int
+
+    @property
+    def combinational_area(self) -> float:
+        return sum(f.combinational_area for f in self.functions)
+
+    @property
+    def sequential_area(self) -> float:
+        return AREA_PER_FLIP_FLOP * self.num_flip_flops
+
+    @property
+    def total_area(self) -> float:
+        return self.combinational_area + self.sequential_area
+
+    def merged_with(self, other: "LogicBlockArea", name: str) -> "LogicBlockArea":
+        """Sum two blocks (used to aggregate a distributed control unit)."""
+        return LogicBlockArea(
+            name=name,
+            functions=self.functions + other.functions,
+            num_flip_flops=self.num_flip_flops + other.num_flip_flops,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: comb {self.combinational_area:.0f} / "
+            f"seq {self.sequential_area:.0f} "
+            f"({self.num_flip_flops} FFs, {len(self.functions)} functions)"
+        )

@@ -1,0 +1,148 @@
+"""Quine–McCluskey prime-implicant generation and greedy cover selection.
+
+Exact prime generation followed by essential-prime extraction and a greedy
+set-cover heuristic for the cyclic core — the standard recipe for the
+function sizes controller synthesis produces (a dozen input variables or
+fewer).  Functions wider than :data:`EXACT_WIDTH_LIMIT` fall back to a
+single-cube-per-minterm cover with merged adjacent pairs, keeping area
+reports finite for stress-test inputs.
+"""
+
+from __future__ import annotations
+
+from .terms import BooleanFunction, Cube
+
+#: Above this input width, exact prime generation is skipped.
+EXACT_WIDTH_LIMIT = 14
+
+
+def prime_implicants(function: BooleanFunction) -> frozenset[Cube]:
+    """All prime implicants of ``ones ∪ dont_cares``.
+
+    Classic iterated pairwise combination: start from the minterm cubes,
+    repeatedly merge distance-one pairs, and keep every cube that never
+    merged.
+    """
+    current = {
+        Cube.minterm(function.width, m)
+        for m in function.ones | function.dont_cares
+    }
+    primes: set[Cube] = set()
+    while current:
+        merged: set[Cube] = set()
+        used: set[Cube] = set()
+        # Group by popcount of value for the classic adjacency pruning.
+        by_ones: dict[int, list[Cube]] = {}
+        for cube in current:
+            by_ones.setdefault(bin(cube.value).count("1"), []).append(cube)
+        for count, group in sorted(by_ones.items()):
+            for cube in group:
+                for other in by_ones.get(count + 1, ()):
+                    combined = cube.merge_distance_one(other)
+                    if combined is not None:
+                        merged.add(combined)
+                        used.add(cube)
+                        used.add(other)
+        primes |= current - used
+        current = merged
+    return frozenset(primes)
+
+
+def _greedy_cover(
+    required: frozenset[int], candidates: frozenset[Cube]
+) -> list[Cube]:
+    """Essential primes first, then greedy max-coverage selection."""
+    remaining = set(required)
+    cover: list[Cube] = []
+
+    coverage = {
+        cube: frozenset(m for m in required if cube.contains(m))
+        for cube in candidates
+    }
+    # Essential primes: the only cube covering some required minterm.
+    for minterm in sorted(required):
+        owners = [c for c in candidates if minterm in coverage[c]]
+        if len(owners) == 1 and owners[0] not in cover:
+            cover.append(owners[0])
+            remaining -= coverage[owners[0]]
+    # Greedy on the rest: most new minterms, fewest literals, stable order.
+    while remaining:
+        best = max(
+            candidates,
+            key=lambda c: (
+                len(coverage[c] & remaining),
+                -c.num_literals,
+                c.to_string(),
+            ),
+        )
+        gained = coverage[best] & remaining
+        if not gained:
+            raise AssertionError("greedy cover stuck; primes incomplete")
+        cover.append(best)
+        remaining -= gained
+    return cover
+
+
+def minimize(function: BooleanFunction) -> tuple[Cube, ...]:
+    """Minimized sum-of-products cover of a boolean function.
+
+    Returns a tuple of cubes covering every required-1 minterm, never
+    covering a required-0 minterm, deterministically ordered.  Constant
+    functions return ``()`` (zero) or a single tautology cube (one).
+    """
+    if function.is_constant_zero:
+        return ()
+    if function.is_constant_one:
+        return (Cube(width=function.width, care=0, value=0),)
+    if function.width > EXACT_WIDTH_LIMIT:
+        return _approximate_cover(function)
+    primes = prime_implicants(function)
+    cover = _greedy_cover(function.ones, primes)
+    return tuple(sorted(cover))
+
+
+def _approximate_cover(function: BooleanFunction) -> tuple[Cube, ...]:
+    """Cheap cover for very wide functions: single merge pass on minterms."""
+    cubes = [Cube.minterm(function.width, m) for m in sorted(function.ones)]
+    merged = True
+    while merged:
+        merged = False
+        result: list[Cube] = []
+        used = [False] * len(cubes)
+        for i, cube in enumerate(cubes):
+            if used[i]:
+                continue
+            partner = None
+            for j in range(i + 1, len(cubes)):
+                if used[j]:
+                    continue
+                combined = cube.merge_distance_one(cubes[j])
+                if combined is not None:
+                    partner = (j, combined)
+                    break
+            if partner is None:
+                result.append(cube)
+            else:
+                j, combined = partner
+                used[j] = True
+                result.append(combined)
+                merged = True
+        cubes = result
+    return tuple(sorted(set(cubes)))
+
+
+def verify_cover(
+    function: BooleanFunction, cover: tuple[Cube, ...]
+) -> None:
+    """Assert a cover is functionally correct (test helper).
+
+    Every required-1 minterm must be covered and no required-0 minterm may
+    be covered; don't-cares are free.
+    """
+    for minterm in range(1 << function.width):
+        covered = any(c.contains(minterm) for c in cover)
+        required = function.value_at(minterm)
+        if required is True and not covered:
+            raise AssertionError(f"minterm {minterm} uncovered")
+        if required is False and covered:
+            raise AssertionError(f"minterm {minterm} wrongly covered")

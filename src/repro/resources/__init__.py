@@ -1,0 +1,79 @@
+"""Arithmetic-unit substrate: units, allocations, completion models."""
+
+from .allocation import (
+    PAPER_FIXED_DELAY_NS,
+    PAPER_LONG_DELAY_NS,
+    PAPER_SHORT_DELAY_NS,
+    ResourceAllocation,
+)
+from .bitlevel import ArrayMultiplier, RippleCarryAdder, carry_chain_length
+from .completion import (
+    AllFastCompletion,
+    CategoricalCompletion,
+    LevelAssignmentCompletion,
+    AllSlowCompletion,
+    AssignmentCompletion,
+    BernoulliCompletion,
+    CompletionModel,
+    OperandCompletion,
+    TraceCompletion,
+    expected_fast_probability,
+)
+from .csg import (
+    AdderCSG,
+    MultiplierCSG,
+    OperandDistribution,
+    measure_fast_fraction,
+    small_value_distribution,
+    sparse_distribution,
+    synthesize_adder_csg,
+    synthesize_multiplier_csg,
+    uniform_distribution,
+    verify_csg_safety,
+)
+from .gates import Netlist, bus, bus_values, read_bus
+from .units import (
+    ArithmeticUnit,
+    FixedDelayUnit,
+    MultiLevelTelescopicUnit,
+    TelescopicUnit,
+    make_unit,
+)
+
+__all__ = [
+    "AdderCSG",
+    "AllFastCompletion",
+    "AllSlowCompletion",
+    "ArithmeticUnit",
+    "ArrayMultiplier",
+    "AssignmentCompletion",
+    "BernoulliCompletion",
+    "CategoricalCompletion",
+    "CompletionModel",
+    "FixedDelayUnit",
+    "LevelAssignmentCompletion",
+    "MultiLevelTelescopicUnit",
+    "MultiplierCSG",
+    "Netlist",
+    "OperandCompletion",
+    "OperandDistribution",
+    "PAPER_FIXED_DELAY_NS",
+    "PAPER_LONG_DELAY_NS",
+    "PAPER_SHORT_DELAY_NS",
+    "ResourceAllocation",
+    "RippleCarryAdder",
+    "TelescopicUnit",
+    "TraceCompletion",
+    "bus",
+    "bus_values",
+    "carry_chain_length",
+    "expected_fast_probability",
+    "make_unit",
+    "measure_fast_fraction",
+    "small_value_distribution",
+    "sparse_distribution",
+    "synthesize_adder_csg",
+    "synthesize_multiplier_csg",
+    "uniform_distribution",
+    "verify_csg_safety",
+]

@@ -1,0 +1,194 @@
+"""Bit-level arithmetic datapaths with data-dependent delay.
+
+These are the *physical* substrates behind a telescopic unit (paper Fig. 1):
+a ripple-carry adder whose settle time tracks the longest carry chain the
+operands actually excite, and a carry-save array multiplier whose settle
+time tracks how many partial-product rows carry information.  Both expose
+
+* a functional result (so the value-computing datapath can use them),
+* an analytic per-operand delay model (fast to query), and
+* a gate-level :class:`~repro.resources.gates.Netlist` realization whose
+  event-driven settle time validates the analytic model in tests.
+
+The completion-signal generators in :mod:`repro.resources.csg` are
+synthesized against the analytic models and safety-checked exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..errors import LogicError
+from .gates import Netlist, bus_values, read_bus
+
+
+def carry_chain_length(a: int, b: int, width: int) -> int:
+    """Length of the longest carry chain excited by adding ``a + b``.
+
+    A carry is *generated* at position i when both bits are 1 and then
+    *propagates* through consecutive positions where exactly one bit is 1.
+    The returned value is the largest number of stages any single carry
+    ripples through — the quantity that determines the adder's settle time
+    for this operand pair.
+    """
+    if a < 0 or b < 0:
+        raise LogicError("carry-chain analysis expects unsigned operands")
+    longest = 0
+    current = 0
+    alive = False
+    for i in range(width):
+        ai = (a >> i) & 1
+        bi = (b >> i) & 1
+        if ai and bi:  # generate: a new carry is born here
+            alive = True
+            current = 1
+        elif (ai ^ bi) and alive:  # propagate: the carry ripples on
+            current += 1
+        else:  # kill (0,0) or propagate with no live carry
+            alive = False
+            current = 0
+        longest = max(longest, current)
+    return longest
+
+
+@dataclass(frozen=True)
+class RippleCarryAdder:
+    """A ``width``-bit ripple-carry adder with data-dependent delay.
+
+    Analytic delay model: a fixed sum/setup term plus one carry-stage term
+    per position of the longest excited carry chain.  The gate-level
+    netlist (two half-adders + OR per stage, unit gate delay scaled by
+    ``gate_delay_ns``) exhibits the same monotone chain-length/settle-time
+    relation; tests assert the correlation.
+    """
+
+    width: int = 16
+    gate_delay_ns: float = 0.6
+    base_delay_ns: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise LogicError("adder width must be >= 1")
+
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def result(self, a: int, b: int) -> int:
+        """Functional sum, truncated to the adder width."""
+        return (a + b) & self.mask()
+
+    def delay_ns(self, a: int, b: int) -> float:
+        """Analytic settle time for this operand pair."""
+        chain = carry_chain_length(a & self.mask(), b & self.mask(), self.width)
+        return self.base_delay_ns + 2.0 * self.gate_delay_ns * chain
+
+    @property
+    def worst_delay_ns(self) -> float:
+        """Settle time of the longest possible carry chain (= LD)."""
+        return self.base_delay_ns + 2.0 * self.gate_delay_ns * self.width
+
+    @cached_property
+    def netlist(self) -> Netlist:
+        """Gate-level realization (built lazily, cached)."""
+        nl = Netlist(f"rca{self.width}")
+        for i in range(self.width):
+            nl.add_input(f"a{i}")
+        for i in range(self.width):
+            nl.add_input(f"b{i}")
+        carry = None
+        d = self.gate_delay_ns
+        for i in range(self.width):
+            p = nl.add_gate("XOR", [f"a{i}", f"b{i}"], f"p{i}", d)
+            g = nl.add_gate("AND", [f"a{i}", f"b{i}"], f"g{i}", d)
+            if carry is None:
+                nl.add_gate("BUF", [p], f"s{i}", d)
+                carry = g
+            else:
+                nl.add_gate("XOR", [p, carry], f"s{i}", d)
+                t = nl.add_gate("AND", [p, carry], f"t{i}", d)
+                carry = nl.add_gate("OR", [g, t], f"c{i}", d)
+            nl.mark_output(f"s{i}")
+        nl.add_gate("BUF", [carry], "cout", d)
+        nl.mark_output("cout")
+        return nl
+
+    def gate_level_settle_ns(self, a: int, b: int) -> float:
+        """Event-driven settle time of the netlist for ``0 → (a, b)``."""
+        stimulus = {}
+        stimulus.update(bus_values("a", self.width, a & self.mask()))
+        stimulus.update(bus_values("b", self.width, b & self.mask()))
+        values, settle = self.netlist.settle(stimulus)
+        computed = read_bus(values, "s", self.width)
+        expected = self.result(a, b)
+        if computed != expected:
+            raise LogicError(
+                f"gate-level adder disagrees with arithmetic: "
+                f"{a}+{b} -> {computed}, expected {expected}"
+            )
+        return settle
+
+
+@dataclass(frozen=True)
+class ArrayMultiplier:
+    """A ``width``×``width`` carry-save array multiplier model.
+
+    Analytic delay model: the array is a cascade of partial-product rows;
+    rows above the most-significant set bit of the multiplier operand ``b``
+    add zeros and settle immediately, so the excited depth is
+    ``b.bit_length()`` rows plus the final carry-propagate adder.  This is
+    the mechanism Benini et al. exploit: operands with small magnitude (or
+    many leading zeros) finish within the short delay.
+    """
+
+    width: int = 8
+    row_delay_ns: float = 1.5
+    base_delay_ns: float = 2.0
+    final_adder_stage_ns: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise LogicError("multiplier width must be >= 1")
+
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def result(self, a: int, b: int) -> int:
+        """Functional product (full 2×width precision)."""
+        return (a & self.mask()) * (b & self.mask())
+
+    def active_rows(self, b: int) -> int:
+        """Number of partial-product rows the multiplier operand excites."""
+        return (b & self.mask()).bit_length()
+
+    def delay_ns(self, a: int, b: int) -> float:
+        """Analytic settle time for this operand pair."""
+        a &= self.mask()
+        b &= self.mask()
+        if a == 0 or b == 0:
+            return self.base_delay_ns
+        rows = self.active_rows(b)
+        # Final carry-propagate addition over the top `width` bits; its
+        # chain depends on the actual carry-save residues, approximated by
+        # the chain of the two final addends of the schoolbook sum.
+        partial = sum((a << i) for i in range(rows - 1) if (b >> i) & 1)
+        last = a << (rows - 1)
+        chain = carry_chain_length(
+            partial & ((1 << (2 * self.width)) - 1),
+            last & ((1 << (2 * self.width)) - 1),
+            2 * self.width,
+        )
+        return (
+            self.base_delay_ns
+            + self.row_delay_ns * rows
+            + self.final_adder_stage_ns * chain
+        )
+
+    @property
+    def worst_delay_ns(self) -> float:
+        """Upper bound on :meth:`delay_ns` over all operand pairs (= LD)."""
+        return (
+            self.base_delay_ns
+            + self.row_delay_ns * self.width
+            + self.final_adder_stage_ns * 2 * self.width
+        )

@@ -1,0 +1,244 @@
+"""Completion-signal models for telescopic units.
+
+A completion model answers one question per executed operation: *did this
+operand pair belong to the fast group* (completion signal ``C = 1`` within
+the short delay)?  The paper evaluates everything in terms of the fast-group
+probability ``P``; this module provides that Bernoulli abstraction plus
+deterministic, trace-driven and operand-driven (bit-level) models that all
+plug into the same simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import SimulationError
+from .units import ArithmeticUnit, TelescopicUnit
+
+
+class CompletionModel(abc.ABC):
+    """Decides, per operation execution, whether the TAU finishes fast."""
+
+    @abc.abstractmethod
+    def is_fast(
+        self,
+        op_name: str,
+        unit: ArithmeticUnit,
+        operands: "tuple[int, ...] | None",
+        rng: random.Random,
+    ) -> bool:
+        """Return ``True`` when the completion signal fires within SD.
+
+        ``operands`` carries the concrete operand values when the caller
+        runs a value-computing datapath; purely stochastic models ignore
+        it.  Fixed-delay units never consult the model.
+        """
+
+    def sample_level(
+        self,
+        op_name: str,
+        unit: ArithmeticUnit,
+        operands: "tuple[int, ...] | None",
+        rng: random.Random,
+    ) -> int:
+        """Telescope level of one execution (0 = fastest).
+
+        The default maps the binary fast/slow answer onto the first/last
+        level — exact for the paper's two-level TAUs; multi-level models
+        override this.
+        """
+        if self.is_fast(op_name, unit, operands, rng):
+            return 0
+        return unit.num_levels - 1
+
+    def reset(self) -> None:
+        """Reset any per-run state (trace cursors, ...)."""
+
+
+@dataclass
+class BernoulliCompletion(CompletionModel):
+    """Each execution is fast independently with probability ``p``.
+
+    This is the paper's evaluation model: Table 2 sweeps
+    ``P ∈ {0.9, 0.7, 0.5}``.
+    """
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise SimulationError(f"P must be in [0, 1], got {self.p}")
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        return rng.random() < self.p
+
+
+@dataclass
+class AllFastCompletion(CompletionModel):
+    """Best case: every operand pair is in the fast group."""
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        return True
+
+
+@dataclass
+class AllSlowCompletion(CompletionModel):
+    """Worst case: every operand pair needs the long delay."""
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        return False
+
+
+@dataclass
+class TraceCompletion(CompletionModel):
+    """Replays a fixed per-operation outcome sequence.
+
+    ``trace`` maps an operation name to the sequence of outcomes of its
+    successive executions; a missing entry or an exhausted sequence is an
+    error (it means the test did not specify the run fully).  Used to pin
+    exact scenarios in unit tests and for exhaustive enumeration.
+    """
+
+    trace: Mapping[str, Sequence[bool]]
+    _cursor: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        if op_name not in self.trace:
+            raise SimulationError(f"no completion trace for {op_name!r}")
+        index = self._cursor.get(op_name, 0)
+        seq = self.trace[op_name]
+        if index >= len(seq):
+            raise SimulationError(
+                f"completion trace for {op_name!r} exhausted after "
+                f"{len(seq)} executions"
+            )
+        self._cursor[op_name] = index + 1
+        return bool(seq[index])
+
+    def reset(self) -> None:
+        self._cursor.clear()
+
+
+@dataclass(frozen=True)
+class AssignmentCompletion(CompletionModel):
+    """A single fast/slow bit per operation (one execution each).
+
+    The analytic latency engine enumerates these assignments exhaustively;
+    wrapping one in a completion model lets the cycle-accurate simulator
+    replay exactly the same scenario for cross-checking.
+    """
+
+    fast: Mapping[str, bool]
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        try:
+            return self.fast[op_name]
+        except KeyError:
+            raise SimulationError(
+                f"no fast/slow assignment for {op_name!r}"
+            ) from None
+
+
+@dataclass
+class OperandCompletion(CompletionModel):
+    """Data-dependent model: ask the unit's bit-level CSG.
+
+    ``csg_by_unit`` maps unit names to completion-signal-generator
+    predicates (see :mod:`repro.resources.csg`).  Requires the simulator to
+    run with a value-computing datapath so operand values are available.
+    """
+
+    csg_by_unit: Mapping[str, "object"]
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        if operands is None:
+            raise SimulationError(
+                "OperandCompletion needs concrete operand values; run the "
+                "simulator with a value-computing datapath"
+            )
+        try:
+            csg = self.csg_by_unit[unit.name]
+        except KeyError:
+            raise SimulationError(
+                f"no completion-signal generator for unit {unit.name!r}"
+            ) from None
+        return bool(csg.is_fast(*operands))
+
+
+@dataclass
+class CategoricalCompletion(CompletionModel):
+    """Independent categorical level outcomes (multi-level VCAUs).
+
+    ``probabilities[i]`` is the chance an execution completes at level
+    ``i``; must sum to 1.  ``is_fast`` reports level 0 for binary callers.
+    """
+
+    probabilities: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if not self.probabilities:
+            raise SimulationError("need at least one level probability")
+        if any(p < 0 for p in self.probabilities):
+            raise SimulationError("level probabilities must be >= 0")
+        total = sum(self.probabilities)
+        if abs(total - 1.0) > 1e-9:
+            raise SimulationError(
+                f"level probabilities must sum to 1, got {total}"
+            )
+
+    def sample_level(self, op_name, unit, operands, rng) -> int:
+        if len(self.probabilities) != unit.num_levels:
+            raise SimulationError(
+                f"{len(self.probabilities)} level probabilities but unit "
+                f"{unit.name!r} has {unit.num_levels} levels"
+            )
+        draw = rng.random()
+        acc = 0.0
+        for level, p in enumerate(self.probabilities):
+            acc += p
+            if draw < acc:
+                return level
+        return len(self.probabilities) - 1
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        return self.sample_level(op_name, unit, operands, rng) == 0
+
+
+@dataclass(frozen=True)
+class LevelAssignmentCompletion(CompletionModel):
+    """A fixed telescope level per operation (exact multi-level scenarios)."""
+
+    levels: Mapping[str, int]
+
+    def sample_level(self, op_name, unit, operands, rng) -> int:
+        try:
+            level = self.levels[op_name]
+        except KeyError:
+            raise SimulationError(
+                f"no level assignment for {op_name!r}"
+            ) from None
+        if not 0 <= level < unit.num_levels:
+            raise SimulationError(
+                f"level {level} out of range for unit {unit.name!r}"
+            )
+        return level
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        return self.sample_level(op_name, unit, operands, rng) == 0
+
+
+def expected_fast_probability(
+    model: CompletionModel,
+    unit: TelescopicUnit,
+    samples: int = 10_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of a stochastic model's fast probability."""
+    rng = random.Random(seed)
+    hits = sum(
+        model.is_fast("probe", unit, None, rng) for _ in range(samples)
+    )
+    return hits / samples

@@ -1,0 +1,258 @@
+"""Completion-signal generator (CSG) synthesis and verification.
+
+A CSG is the distinctive part of a telescopic unit (paper Fig. 1): a small
+combinational predicate over the operand bits that raises ``C = 1`` exactly
+for operands the arithmetic logic finishes within the short delay SD.  A CSG
+must be **safe**: it may pessimistically answer "slow" for a fast pair, but
+must never answer "fast" for a pair needing more than SD (that would latch a
+wrong result).
+
+This module synthesizes threshold CSGs against the analytic delay models of
+:mod:`repro.resources.bitlevel`, verifies safety (exhaustively at small
+widths, by construction otherwise), and measures the fast-group probability
+``P`` a CSG achieves on a given operand distribution — connecting the
+bit-level substrate to the paper's Bernoulli(P) evaluation model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import LogicError
+from .bitlevel import ArrayMultiplier, RippleCarryAdder, carry_chain_length
+
+
+@dataclass(frozen=True)
+class AdderCSG:
+    """CSG for a ripple-carry adder: bound the excited carry-chain length.
+
+    The predicate "longest excited carry chain ≤ ``max_chain``" is a pure
+    boolean function of the operand bits (realizable as a small AND-OR
+    network over generate/propagate terms), hence a legitimate synchronous
+    CSG.
+    """
+
+    adder: RippleCarryAdder
+    max_chain: int
+
+    def is_fast(self, a: int, b: int) -> bool:
+        """Completion signal for this operand pair."""
+        mask = self.adder.mask()
+        return (
+            carry_chain_length(a & mask, b & mask, self.adder.width)
+            <= self.max_chain
+        )
+
+    @property
+    def short_delay_ns(self) -> float:
+        """The SD this CSG guarantees (delay of a max_chain pair)."""
+        return (
+            self.adder.base_delay_ns
+            + 2.0 * self.adder.gate_delay_ns * self.max_chain
+        )
+
+
+@dataclass(frozen=True)
+class MultiplierCSG:
+    """CSG for an array multiplier: bound the excited row depth.
+
+    ``is_fast`` is true when the multiplier operand uses at most
+    ``max_rows`` partial-product rows (its high bits are zero) *and* the
+    final carry-propagate chain is short; detecting leading zeros is a
+    trivial NOR over the top bits, the chain bound reuses the adder-CSG
+    construction on the final adder.
+    """
+
+    multiplier: ArrayMultiplier
+    max_rows: int
+    max_final_chain: int
+
+    def is_fast(self, a: int, b: int) -> bool:
+        """Completion signal for this operand pair."""
+        mult = self.multiplier
+        a &= mult.mask()
+        b &= mult.mask()
+        if a == 0 or b == 0:
+            return True
+        if mult.active_rows(b) > self.max_rows:
+            return False
+        return mult.delay_ns(a, b) <= self.short_delay_ns + 1e-9
+
+    @property
+    def short_delay_ns(self) -> float:
+        """The SD this CSG guarantees."""
+        mult = self.multiplier
+        return (
+            mult.base_delay_ns
+            + mult.row_delay_ns * self.max_rows
+            + mult.final_adder_stage_ns * self.max_final_chain
+        )
+
+
+def synthesize_adder_csg(
+    adder: RippleCarryAdder, short_delay_ns: float
+) -> AdderCSG:
+    """Largest-coverage safe adder CSG for a target short delay."""
+    if short_delay_ns < adder.base_delay_ns:
+        raise LogicError(
+            f"target SD {short_delay_ns} ns is below the adder's base delay "
+            f"{adder.base_delay_ns} ns; no operand pair is fast"
+        )
+    max_chain = int(
+        (short_delay_ns - adder.base_delay_ns) / (2.0 * adder.gate_delay_ns)
+        + 1e-9
+    )
+    max_chain = min(max_chain, adder.width)
+    return AdderCSG(adder=adder, max_chain=max_chain)
+
+
+def synthesize_multiplier_csg(
+    multiplier: ArrayMultiplier, short_delay_ns: float
+) -> MultiplierCSG:
+    """Best safe multiplier CSG for a target short delay.
+
+    Searches over (row bound, final-chain bound) pairs whose guaranteed
+    delay fits SD and keeps the pair maximizing coverage on uniform
+    operands, estimated analytically as rows dominate coverage.
+    """
+    if short_delay_ns < multiplier.base_delay_ns:
+        raise LogicError(
+            f"target SD {short_delay_ns} ns is below the multiplier's base "
+            f"delay {multiplier.base_delay_ns} ns; no operand pair is fast"
+        )
+    best: "MultiplierCSG | None" = None
+    for rows in range(multiplier.width, 0, -1):
+        budget = (
+            short_delay_ns
+            - multiplier.base_delay_ns
+            - multiplier.row_delay_ns * rows
+        )
+        if budget < 0:
+            continue
+        chain = min(
+            int(budget / multiplier.final_adder_stage_ns + 1e-9),
+            2 * multiplier.width,
+        )
+        candidate = MultiplierCSG(
+            multiplier=multiplier, max_rows=rows, max_final_chain=chain
+        )
+        if best is None or (candidate.max_rows, candidate.max_final_chain) > (
+            best.max_rows,
+            best.max_final_chain,
+        ):
+            best = candidate
+    if best is None:
+        # SD covers the base delay only: zero operands are still fast.
+        best = MultiplierCSG(
+            multiplier=multiplier, max_rows=0, max_final_chain=0
+        )
+    return best
+
+
+def verify_csg_safety(
+    csg: "AdderCSG | MultiplierCSG",
+    delay_fn: Callable[[int, int], float],
+    short_delay_ns: float,
+    width: int,
+    exhaustive_limit: int = 10,
+    samples: int = 20_000,
+    seed: int = 0,
+) -> int:
+    """Check a CSG never claims "fast" for a pair slower than SD.
+
+    Exhaustive over all operand pairs when ``width <= exhaustive_limit``,
+    random sampling otherwise.  Returns the number of pairs checked; raises
+    :class:`LogicError` on the first violation.
+    """
+    def check(a: int, b: int) -> None:
+        if csg.is_fast(a, b) and delay_fn(a, b) > short_delay_ns + 1e-9:
+            raise LogicError(
+                f"unsafe CSG: claims fast for ({a}, {b}) but delay is "
+                f"{delay_fn(a, b):.3f} ns > SD {short_delay_ns} ns"
+            )
+
+    if width <= exhaustive_limit:
+        count = 0
+        for a in range(1 << width):
+            for b in range(1 << width):
+                check(a, b)
+                count += 1
+        return count
+    rng = random.Random(seed)
+    limit = (1 << width) - 1
+    for _ in range(samples):
+        check(rng.randint(0, limit), rng.randint(0, limit))
+    return samples
+
+
+@dataclass(frozen=True)
+class OperandDistribution:
+    """A named generator of operand pairs for coverage measurement."""
+
+    name: str
+    sampler: Callable[[random.Random], tuple[int, int]]
+
+    def sample(self, rng: random.Random) -> tuple[int, int]:
+        return self.sampler(rng)
+
+
+def uniform_distribution(width: int) -> OperandDistribution:
+    """Operands uniform over the full range — the pessimistic case."""
+    limit = (1 << width) - 1
+    return OperandDistribution(
+        name="uniform",
+        sampler=lambda rng: (rng.randint(0, limit), rng.randint(0, limit)),
+    )
+
+
+def small_value_distribution(
+    width: int, active_bits: int
+) -> OperandDistribution:
+    """Operands concentrated in the low ``active_bits`` bits.
+
+    Models audio/DSP data whose samples rarely hit full scale — the regime
+    where telescopic units shine (high P).
+    """
+    limit = (1 << min(active_bits, width)) - 1
+    return OperandDistribution(
+        name=f"small{active_bits}",
+        sampler=lambda rng: (rng.randint(0, limit), rng.randint(0, limit)),
+    )
+
+
+def sparse_distribution(width: int, ones: int) -> OperandDistribution:
+    """Operands with at most ``ones`` random set bits (short carry chains)."""
+
+    def sample(rng: random.Random) -> tuple[int, int]:
+        def one_value() -> int:
+            value = 0
+            for _ in range(ones):
+                value |= 1 << rng.randrange(width)
+            return value
+
+        return one_value(), one_value()
+
+    return OperandDistribution(name=f"sparse{ones}", sampler=sample)
+
+
+def measure_fast_fraction(
+    csg: "AdderCSG | MultiplierCSG",
+    distribution: OperandDistribution,
+    samples: int = 20_000,
+    seed: int = 0,
+) -> float:
+    """Estimate the fast-group probability P the CSG achieves.
+
+    This is the bridge from the bit-level substrate to the paper's
+    evaluation parameter: feed the measured fraction into
+    :class:`~repro.resources.completion.BernoulliCompletion` (or use
+    :class:`~repro.resources.completion.OperandCompletion` directly).
+    """
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        a, b = distribution.sample(rng)
+        hits += csg.is_fast(a, b)
+    return hits / samples

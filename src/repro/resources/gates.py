@@ -1,0 +1,212 @@
+"""A minimal gate-level netlist with event-driven timing simulation.
+
+The telescopic-unit story rests on a physical fact: the settle time of a
+combinational arithmetic block depends on the operands (carry chains of
+different lengths sensitize paths of different depths).  To reproduce that
+fact from first principles — rather than assert it — this module provides a
+tiny structural netlist (AND/OR/XOR/NOT/BUF gates with per-gate delays) and
+an event-driven simulator that reports *when* each output settles for a
+given input transition.
+
+:mod:`repro.resources.bitlevel` builds ripple-carry adders and array
+multipliers on top of this and derives the short/long delay split that a
+telescopic unit exploits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..errors import LogicError
+
+_GATE_FUNCS: dict[str, Callable[..., int]] = {
+    "AND": lambda *ins: int(all(ins)),
+    "OR": lambda *ins: int(any(ins)),
+    "XOR": lambda *ins: sum(ins) % 2,
+    "NAND": lambda *ins: int(not all(ins)),
+    "NOR": lambda *ins: int(not any(ins)),
+    "NOT": lambda a: 1 - a,
+    "BUF": lambda a: a,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single logic gate: kind, input nets, output net, delay."""
+
+    kind: str
+    inputs: tuple[str, ...]
+    output: str
+    delay_ns: float
+
+    def evaluate(self, values: Mapping[str, int]) -> int:
+        """Compute the gate's output from current net values."""
+        func = _GATE_FUNCS[self.kind]
+        return func(*(values[n] for n in self.inputs))
+
+
+class Netlist:
+    """An acyclic combinational netlist.
+
+    Nets are identified by name.  Primary inputs are declared explicitly;
+    every other net must be driven by exactly one gate.  The class offers
+    two evaluation modes:
+
+    * :meth:`evaluate` — zero-delay functional evaluation (levelized),
+    * :meth:`settle` — event-driven timing simulation of an input
+      transition, returning final values and the settle time of the latest
+      output change.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inputs: list[str] = []
+        self._outputs: list[str] = []
+        self._gates: list[Gate] = []
+        self._driver: dict[str, Gate] = {}
+        self._fanout: dict[str, list[Gate]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._inputs or net in self._driver:
+            raise LogicError(f"net {net!r} already exists")
+        self._inputs.append(net)
+        self._fanout.setdefault(net, [])
+        return net
+
+    def add_gate(
+        self,
+        kind: str,
+        inputs: Sequence[str],
+        output: str,
+        delay_ns: float = 1.0,
+    ) -> str:
+        """Add a gate driving a fresh net; returns the output net name."""
+        if kind not in _GATE_FUNCS:
+            raise LogicError(f"unknown gate kind {kind!r}")
+        if output in self._driver or output in self._inputs:
+            raise LogicError(f"net {output!r} already driven")
+        for net in inputs:
+            if net not in self._fanout:
+                raise LogicError(
+                    f"gate input net {net!r} does not exist yet (netlist "
+                    f"must be built in topological order)"
+                )
+        gate = Gate(
+            kind=kind, inputs=tuple(inputs), output=output, delay_ns=delay_ns
+        )
+        self._gates.append(gate)
+        self._driver[output] = gate
+        self._fanout[output] = []
+        for net in inputs:
+            self._fanout[net].append(gate)
+        return output
+
+    def mark_output(self, net: str) -> None:
+        """Flag a net as a primary output (used for settle-time tracking)."""
+        if net not in self._fanout:
+            raise LogicError(f"cannot mark unknown net {net!r} as output")
+        self._outputs.append(net)
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> tuple[str, ...]:
+        return tuple(self._outputs)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, inputs: Mapping[str, int]) -> dict[str, int]:
+        """Zero-delay evaluation; returns the value of every net."""
+        values = {n: 0 for n in self._fanout}
+        for net in self._inputs:
+            if net not in inputs:
+                raise LogicError(f"missing value for input net {net!r}")
+            values[net] = int(bool(inputs[net]))
+        # Gates were appended in topological order by construction.
+        for gate in self._gates:
+            values[gate.output] = gate.evaluate(values)
+        return values
+
+    def settle(
+        self,
+        new_inputs: Mapping[str, int],
+        previous_inputs: "Mapping[str, int] | None" = None,
+    ) -> tuple[dict[str, int], float]:
+        """Event-driven simulation of the transition to ``new_inputs``.
+
+        Starting from the steady state under ``previous_inputs`` (all
+        zeros by default), all primary inputs switch at t = 0 and events
+        propagate with per-gate delays.  Returns the final net values and
+        the time of the last change on any *output* net (0.0 when no
+        output changes).
+
+        This models the inertial settling a completion-signal generator
+        must bound: a long carry chain manifests as a late output event.
+        """
+        previous = previous_inputs or {n: 0 for n in self._inputs}
+        values = self.evaluate(previous)
+        # Transport-delay semantics: compare each re-evaluation against the
+        # *last scheduled* value of the driven net, not its current value —
+        # otherwise a pending edge whose cause was cancelled at the same
+        # timestamp would survive and leave the net stuck.
+        scheduled = dict(values)
+
+        queue: list[tuple[float, int, str, int]] = []
+        counter = 0
+        for net in self._inputs:
+            new_val = int(bool(new_inputs[net]))
+            if new_val != scheduled[net]:
+                heapq.heappush(queue, (0.0, counter, net, new_val))
+                scheduled[net] = new_val
+                counter += 1
+
+        output_set = set(self._outputs)
+        settle_time = 0.0
+        while queue:
+            time, _, net, value = heapq.heappop(queue)
+            if values[net] == value:
+                continue  # superseded edge (net already at this value)
+            values[net] = value
+            if net in output_set:
+                settle_time = max(settle_time, time)
+            for gate in self._fanout[net]:
+                new_out = gate.evaluate(values)
+                if new_out != scheduled[gate.output]:
+                    heapq.heappush(
+                        queue,
+                        (time + gate.delay_ns, counter, gate.output, new_out),
+                    )
+                    scheduled[gate.output] = new_out
+                    counter += 1
+        return values, settle_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Netlist {self.name!r} gates={self.num_gates} "
+            f"io={len(self._inputs)}/{len(self._outputs)}>"
+        )
+
+
+def bus(prefix: str, width: int) -> list[str]:
+    """Net names for a bus: ``prefix0 .. prefix{width-1}`` (LSB first)."""
+    return [f"{prefix}{i}" for i in range(width)]
+
+
+def bus_values(prefix: str, width: int, value: int) -> dict[str, int]:
+    """Spread an integer onto a bus as individual bit values."""
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(width)}
+
+
+def read_bus(values: Mapping[str, int], prefix: str, width: int) -> int:
+    """Collect a bus back into an integer."""
+    return sum(values[f"{prefix}{i}"] << i for i in range(width))

@@ -1,0 +1,20 @@
+"""RTL generation: datapath and whole-system Verilog."""
+
+from .area import SystemAreaReport, system_area_report
+from .datapath import (
+    DatapathStatistics,
+    datapath_statistics,
+    datapath_to_verilog,
+)
+from .system import system_to_verilog
+from .testbench import testbench_to_verilog
+
+__all__ = [
+    "DatapathStatistics",
+    "SystemAreaReport",
+    "datapath_statistics",
+    "datapath_to_verilog",
+    "system_area_report",
+    "system_to_verilog",
+    "testbench_to_verilog",
+]

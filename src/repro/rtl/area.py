@@ -1,0 +1,96 @@
+"""System-level area rollup: controllers plus datapath structure.
+
+Table 1 compares *controller* areas; a designer also wants them in
+context: how much of the whole system does the control unit cost next to
+the datapath's registers, operand multiplexers and functional units?
+This module combines the two-level controller area model with structural
+datapath costs (same literal/FF units as :mod:`repro.logic.area`):
+
+* a result register costs ``width`` flip-flops,
+* an n-input operand mux costs ``width · n`` literals (one AND-OR slice
+  per bit per source) when n > 1,
+* functional units are reported separately in unit-equivalents (their
+  gate-level area is technology data, not something a literal model
+  should invent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..control.distributed import DistributedControlUnit
+from ..logic.area import AREA_PER_FLIP_FLOP
+from .datapath import DatapathStatistics, datapath_statistics
+
+
+@dataclass(frozen=True)
+class SystemAreaReport:
+    """Controller-vs-datapath area breakdown for one design."""
+
+    benchmark: str
+    width: int
+    controller_combinational: float
+    controller_sequential: float
+    datapath_register_sequential: float
+    datapath_mux_combinational: float
+    num_units: int
+
+    @property
+    def controller_total(self) -> float:
+        return self.controller_combinational + self.controller_sequential
+
+    @property
+    def datapath_total(self) -> float:
+        """Registers + muxes (functional units excluded, see module doc)."""
+        return (
+            self.datapath_register_sequential
+            + self.datapath_mux_combinational
+        )
+
+    @property
+    def controller_fraction(self) -> float:
+        """Control unit share of the modelled system area."""
+        total = self.controller_total + self.datapath_total
+        return self.controller_total / total if total else 0.0
+
+    def render(self) -> str:
+        return (
+            f"system area for {self.benchmark} ({self.width}-bit "
+            f"datapath):\n"
+            f"  control   : {self.controller_combinational:.0f} comb + "
+            f"{self.controller_sequential:.0f} seq = "
+            f"{self.controller_total:.0f}\n"
+            f"  datapath  : {self.datapath_register_sequential:.0f} "
+            f"register seq + {self.datapath_mux_combinational:.0f} mux "
+            f"comb = {self.datapath_total:.0f} "
+            f"(+ {self.num_units} functional units)\n"
+            f"  controller share of modelled area: "
+            f"{100 * self.controller_fraction:.1f}%"
+        )
+
+
+def system_area_report(
+    unit: DistributedControlUnit,
+    width: int = 16,
+    encoding_style: str = "binary",
+) -> SystemAreaReport:
+    """Roll controller and datapath structural areas into one report."""
+    controller = unit.total_area(encoding_style)
+    stats: DatapathStatistics = datapath_statistics(unit.bound)
+    mux_literals = 0
+    for _, port_a, port_b in stats.mux_inputs_by_unit:
+        if port_a > 1:
+            mux_literals += width * port_a
+        if port_b > 1:
+            mux_literals += width * port_b
+    return SystemAreaReport(
+        benchmark=unit.bound.dfg.name,
+        width=width,
+        controller_combinational=controller.combinational_area,
+        controller_sequential=controller.sequential_area,
+        datapath_register_sequential=(
+            AREA_PER_FLIP_FLOP * width * stats.num_registers
+        ),
+        datapath_mux_combinational=float(mux_literals),
+        num_units=stats.num_units,
+    )

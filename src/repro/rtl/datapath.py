@@ -1,0 +1,207 @@
+"""Datapath RTL generation: registers, operand muxes, unit instances.
+
+The controllers only emit ``OF``/``RE`` strobes; this module generates the
+datapath they steer, completing the synthesizable picture:
+
+* one result register per operation (written on its ``RE`` strobe — the
+  paper's register-enable semantics),
+* per-unit operand multiplexers selecting each bound operation's sources
+  under its ``OF`` strobe (one-hot),
+* one functional-unit instance per allocated unit; telescopic units
+  expose their completion output as a port (the CSG itself is a
+  technology cell — the bit-level models in :mod:`repro.resources` say
+  what it computes, the netlist treats it as a black box),
+* primary input/output ports for the dataflow interface.
+
+:func:`datapath_statistics` reports the structural costs binding decides:
+mux fan-ins, register count, wire count — the datapath-side numbers a
+Table-1-style area discussion needs next to the controller area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binding.binder import BoundDataflowGraph
+from ..core.dfg import ConstRef, InputRef, OpRef
+from ..core.ops import ResourceClass
+from ..fsm.signals import operand_fetch, register_enable
+from ..fsm.verilog import sanitize_identifier
+
+_UNIT_OPERATORS = {
+    ResourceClass.MULTIPLIER: "*",
+    ResourceClass.ADDER: "+",
+    ResourceClass.SUBTRACTOR: "-",
+    ResourceClass.ALU: "+",
+}
+
+
+@dataclass(frozen=True)
+class DatapathStatistics:
+    """Structural datapath costs implied by a binding."""
+
+    num_registers: int
+    num_units: int
+    mux_inputs_by_unit: tuple[tuple[str, int, int], ...]  # (unit, portA, portB)
+    total_mux_inputs: int
+
+    def render(self) -> str:
+        lines = [
+            f"datapath: {self.num_registers} result registers, "
+            f"{self.num_units} units, "
+            f"{self.total_mux_inputs} total mux inputs"
+        ]
+        for unit, a, b in self.mux_inputs_by_unit:
+            lines.append(f"  {unit}: {a}-way / {b}-way operand muxes")
+        return "\n".join(lines)
+
+
+def datapath_statistics(bound: BoundDataflowGraph) -> DatapathStatistics:
+    """Compute mux/register structure without emitting RTL."""
+    mux_rows = []
+    total = 0
+    for unit in bound.used_units():
+        ops = bound.ops_on_unit(unit.name)
+        port_a = len({str(bound.dfg.op(op).operands[0]) for op in ops})
+        port_b = len(
+            {
+                str(bound.dfg.op(op).operands[1])
+                for op in ops
+                if len(bound.dfg.op(op).operands) > 1
+            }
+        )
+        mux_rows.append((unit.name, port_a, port_b))
+        total += (port_a if port_a > 1 else 0) + (
+            port_b if port_b > 1 else 0
+        )
+    return DatapathStatistics(
+        num_registers=len(bound.dfg),
+        num_units=len(bound.used_units()),
+        mux_inputs_by_unit=tuple(mux_rows),
+        total_mux_inputs=total,
+    )
+
+
+def _operand_expr(operand, width: int) -> str:
+    if isinstance(operand, ConstRef):
+        value = operand.value
+        if value < 0:
+            return f"-{width}'d{-value}"
+        return f"{width}'d{value}"
+    if isinstance(operand, InputRef):
+        return sanitize_identifier(operand.name)
+    assert isinstance(operand, OpRef)
+    return f"r_{sanitize_identifier(operand.op)}"
+
+
+def datapath_to_verilog(
+    bound: BoundDataflowGraph,
+    module_name: str = "datapath",
+    width: int = 16,
+) -> str:
+    """Emit the datapath as one synthesizable Verilog module.
+
+    Control inputs are the ``OF_*``/``RE_*`` strobes of the control unit;
+    telescopic units additionally expose a ``C_<unit>`` output fed by a
+    black-box CSG instance port (``csg_<unit>_done`` input at this
+    abstraction level).
+    """
+    dfg = bound.dfg
+    lines: list[str] = [f"// Datapath for {dfg.name}"]
+    lines.append(f"module {sanitize_identifier(module_name)} (")
+    lines.append("    input  wire clk,")
+    lines.append("    input  wire rst_n,")
+    ports: list[str] = []
+    for name in dfg.inputs:
+        ports.append(
+            f"    input  wire signed [{width - 1}:0] "
+            f"{sanitize_identifier(name)},"
+        )
+    for op in dfg:
+        ports.append(
+            f"    input  wire {sanitize_identifier(operand_fetch(op.name))},"
+        )
+        ports.append(
+            f"    input  wire "
+            f"{sanitize_identifier(register_enable(op.name))},"
+        )
+    for unit in bound.used_units():
+        if unit.is_telescopic:
+            ports.append(
+                f"    input  wire csg_{sanitize_identifier(unit.name)}_done,"
+            )
+            ports.append(
+                f"    output wire C_{sanitize_identifier(unit.name)},"
+            )
+    for out_name in dfg.outputs:
+        ports.append(
+            f"    output wire signed [{width - 1}:0] "
+            f"out_{sanitize_identifier(out_name)},"
+        )
+    ports[-1] = ports[-1].rstrip(",")
+    lines.extend(ports)
+    lines.append(");")
+    lines.append("")
+
+    # Result registers.
+    for op in dfg:
+        lines.append(
+            f"  reg signed [{width - 1}:0] r_{sanitize_identifier(op.name)};"
+        )
+    lines.append("")
+
+    # Per-unit operand muxes and functional units.
+    for unit in bound.used_units():
+        ops = bound.ops_on_unit(unit.name)
+        uid = sanitize_identifier(unit.name)
+        for port_index in (0, 1):
+            terms = []
+            for op_name in ops:
+                operands = dfg.op(op_name).operands
+                if port_index >= len(operands):
+                    continue
+                strobe = sanitize_identifier(operand_fetch(op_name))
+                expr = _operand_expr(operands[port_index], width)
+                terms.append(
+                    f"({{{width}{{{strobe}}}}} & {expr})"
+                )
+            mux = " | ".join(terms) if terms else f"{width}'d0"
+            lines.append(
+                f"  wire signed [{width - 1}:0] {uid}_in{port_index} = "
+                f"{mux};"
+            )
+        op_symbol = _UNIT_OPERATORS[unit.resource_class]
+        lines.append(
+            f"  wire signed [{width - 1}:0] {uid}_out = "
+            f"{uid}_in0 {op_symbol} {uid}_in1;"
+        )
+        if unit.is_telescopic:
+            lines.append(
+                f"  assign C_{uid} = csg_{uid}_done;  // CSG black box"
+            )
+        lines.append("")
+
+    # Register writeback under RE strobes.
+    lines.append("  always @(posedge clk or negedge rst_n) begin")
+    lines.append("    if (!rst_n) begin")
+    for op in dfg:
+        lines.append(f"      r_{sanitize_identifier(op.name)} <= 0;")
+    lines.append("    end else begin")
+    for op in dfg:
+        unit = bound.unit_of(op.name)
+        re = sanitize_identifier(register_enable(op.name))
+        lines.append(
+            f"      if ({re}) r_{sanitize_identifier(op.name)} <= "
+            f"{sanitize_identifier(unit.name)}_out;"
+        )
+    lines.append("    end")
+    lines.append("  end")
+    lines.append("")
+    for out_name, op_name in dfg.outputs.items():
+        lines.append(
+            f"  assign out_{sanitize_identifier(out_name)} = "
+            f"r_{sanitize_identifier(op_name)};"
+        )
+    lines.append("")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

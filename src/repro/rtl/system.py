@@ -1,0 +1,108 @@
+"""Whole-system RTL: distributed control unit wired to its datapath."""
+
+from __future__ import annotations
+
+from ..control.distributed import DistributedControlUnit
+from ..control.verilog_top import distributed_to_verilog
+from ..fsm.signals import is_op_completion, operand_fetch, register_enable
+from ..fsm.verilog import sanitize_identifier
+from .datapath import datapath_to_verilog
+
+
+def system_to_verilog(
+    unit: DistributedControlUnit,
+    top_name: str = "system_top",
+    width: int = 16,
+) -> str:
+    """Controllers + datapath + the top level connecting them.
+
+    The top level exposes the dataflow interface (primary inputs/outputs),
+    clock/reset, and one ``csg_<unit>_done`` input per telescopic unit —
+    the hole where a technology-specific completion-signal generator cell
+    plugs in.
+    """
+    bound = unit.bound
+    dfg = bound.dfg
+    chunks = [
+        distributed_to_verilog(unit, top_name=f"{dfg.name}_control"),
+        datapath_to_verilog(
+            bound, module_name=f"{dfg.name}_datapath", width=width
+        ),
+    ]
+
+    lines: list[str] = [f"// System top for {dfg.name}"]
+    lines.append(f"module {sanitize_identifier(top_name)} (")
+    lines.append("    input  wire clk,")
+    lines.append("    input  wire rst_n,")
+    ports: list[str] = []
+    for name in dfg.inputs:
+        ports.append(
+            f"    input  wire signed [{width - 1}:0] "
+            f"{sanitize_identifier(name)},"
+        )
+    for tele in (u for u in bound.used_units() if u.is_telescopic):
+        ports.append(
+            f"    input  wire csg_{sanitize_identifier(tele.name)}_done,"
+        )
+    for out_name in dfg.outputs:
+        ports.append(
+            f"    output wire signed [{width - 1}:0] "
+            f"out_{sanitize_identifier(out_name)},"
+        )
+    ports[-1] = ports[-1].rstrip(",")
+    lines.extend(ports)
+    lines.append(");")
+    lines.append("")
+
+    for op in dfg:
+        lines.append(f"  wire {sanitize_identifier(operand_fetch(op.name))};")
+        lines.append(
+            f"  wire {sanitize_identifier(register_enable(op.name))};"
+        )
+    for tele in (u for u in bound.used_units() if u.is_telescopic):
+        lines.append(f"  wire C_{sanitize_identifier(tele.name)};")
+    lines.append("")
+
+    # Control instance: external inputs are the TAU completion signals.
+    conns = ["    .clk(clk)", "    .rst_n(rst_n)"]
+    for fsm in unit.controllers.values():
+        for signal in fsm.inputs:
+            if not is_op_completion(signal):
+                port = sanitize_identifier(signal)
+                conns.append(f"    .{port}({port})")
+        for signal in fsm.outputs:
+            if not is_op_completion(signal):
+                port = sanitize_identifier(signal)
+                conns.append(f"    .{port}({port})")
+    lines.append(
+        f"  {sanitize_identifier(dfg.name)}_control u_control ("
+    )
+    lines.append(",\n".join(conns))
+    lines.append("  );")
+    lines.append("")
+
+    conns = ["    .clk(clk)", "    .rst_n(rst_n)"]
+    for name in dfg.inputs:
+        port = sanitize_identifier(name)
+        conns.append(f"    .{port}({port})")
+    for op in dfg:
+        of = sanitize_identifier(operand_fetch(op.name))
+        re = sanitize_identifier(register_enable(op.name))
+        conns.append(f"    .{of}({of})")
+        conns.append(f"    .{re}({re})")
+    for tele in (u for u in bound.used_units() if u.is_telescopic):
+        uid = sanitize_identifier(tele.name)
+        conns.append(f"    .csg_{uid}_done(csg_{uid}_done)")
+        conns.append(f"    .C_{uid}(C_{uid})")
+    for out_name in dfg.outputs:
+        port = f"out_{sanitize_identifier(out_name)}"
+        conns.append(f"    .{port}({port})")
+    lines.append(
+        f"  {sanitize_identifier(dfg.name)}_datapath u_datapath ("
+    )
+    lines.append(",\n".join(conns))
+    lines.append("  );")
+    lines.append("")
+    lines.append("endmodule")
+    chunks.append("\n".join(lines) + "\n")
+    return "\n\n".join(chunks)

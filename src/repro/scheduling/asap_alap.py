@@ -1,0 +1,19 @@
+"""Unconstrained ASAP / ALAP schedulers producing schedule objects."""
+
+from __future__ import annotations
+
+from ..core.analysis import alap_start_times, asap_start_times
+from ..core.dfg import DataflowGraph
+from .schedule import TimeStepSchedule
+
+
+def asap_schedule(dfg: DataflowGraph) -> TimeStepSchedule:
+    """As-soon-as-possible schedule with unit step durations."""
+    return TimeStepSchedule(dfg=dfg, start=asap_start_times(dfg))
+
+
+def alap_schedule(
+    dfg: DataflowGraph, horizon: "int | None" = None
+) -> TimeStepSchedule:
+    """As-late-as-possible schedule for a horizon (critical path default)."""
+    return TimeStepSchedule(dfg=dfg, start=alap_start_times(dfg, horizon))

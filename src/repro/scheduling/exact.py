@@ -1,0 +1,118 @@
+"""Exact (optimal-latency) resource-constrained scheduling.
+
+Branch-and-bound over time steps for small graphs: at every step choose
+which ready operations to start, bounded by the per-class unit counts,
+pruning with the critical-path lower bound.  Exponential in the worst case
+— intended as ground truth for validating the heuristic list scheduler on
+benchmark-sized graphs, mirroring how HLS papers sanity-check heuristics
+against ILP formulations.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.analysis import alap_start_times, asap_start_times
+from ..core.dfg import DataflowGraph
+from ..core.ops import ResourceClass
+from ..errors import SchedulingError
+from ..resources.allocation import ResourceAllocation
+from .list_scheduler import list_schedule
+from .schedule import TimeStepSchedule
+
+#: Safety bound on the search — benchmark-scale graphs stay far below it.
+MAX_VISITED_STATES = 200_000
+
+
+def exact_schedule(
+    dfg: DataflowGraph,
+    allocation: ResourceAllocation,
+    max_visited: int = MAX_VISITED_STATES,
+) -> TimeStepSchedule:
+    """Minimum-latency schedule under the allocation's unit counts.
+
+    Raises :class:`SchedulingError` when the search exceeds
+    ``max_visited`` explored states (use the list scheduler instead).
+    """
+    allocation.validate_for(dfg)
+    limits = {rc: allocation.count(rc) for rc in dfg.resource_classes()}
+    names = dfg.op_names()
+    index = {name: i for i, name in enumerate(names)}
+    preds = [
+        tuple(index[p] for p in dfg.predecessors(name)) for name in names
+    ]
+    classes = [dfg.op(name).resource_class for name in names]
+
+    # Upper bound: the list schedule (also the fallback answer).
+    heuristic = list_schedule(dfg, allocation)
+    best_length = heuristic.num_steps
+    best_start = {index[n]: t for n, t in heuristic.start.items()}
+
+    # Lower bounds per op: remaining critical path below it.
+    asap = asap_start_times(dfg)
+    alap = alap_start_times(dfg)
+    depth_below = {
+        index[n]: max(asap.values()) - alap[n] for n in names
+    }
+
+    visited: dict[frozenset[int], int] = {}
+    counter = 0
+
+    def search(
+        done: frozenset[int], step: int, start: dict[int, int]
+    ) -> None:
+        nonlocal best_length, best_start, counter
+        counter += 1
+        if counter > max_visited:
+            raise SchedulingError(
+                f"exact scheduling exceeded {max_visited} states; "
+                f"use list_schedule for this graph"
+            )
+        if len(done) == len(names):
+            if step < best_length:
+                best_length = step
+                best_start = dict(start)
+            return
+        # Bound: even finishing the deepest remaining chain can't beat best.
+        remaining_depth = max(
+            depth_below[i] + 1 for i in range(len(names)) if i not in done
+        )
+        if step + remaining_depth >= best_length:
+            return
+        seen = visited.get(done)
+        if seen is not None and seen <= step:
+            return  # reached this completion set no later before
+        visited[done] = step
+
+        ready = [
+            i
+            for i in range(len(names))
+            if i not in done and all(p in done for p in preds[i])
+        ]
+        by_class: dict[ResourceClass, list[int]] = {}
+        for i in ready:
+            by_class.setdefault(classes[i], []).append(i)
+        # Candidate subsets per class: all max-size-bounded combinations.
+        class_choices = []
+        for rc, members in by_class.items():
+            take = min(limits[rc], len(members))
+            choices = [
+                combo
+                for size in range(take, -1, -1)
+                for combo in itertools.combinations(members, size)
+            ]
+            class_choices.append(choices)
+        for combo_set in itertools.product(*class_choices):
+            chosen = tuple(itertools.chain.from_iterable(combo_set))
+            if not chosen and ready:
+                continue  # idling a step with work ready is never optimal
+            new_done = done | set(chosen)
+            new_start = dict(start)
+            for i in chosen:
+                new_start[i] = step
+            search(new_done, step + 1, new_start)
+
+    search(frozenset(), 0, {})
+    return TimeStepSchedule(
+        dfg=dfg, start={names[i]: t for i, t in best_start.items()}
+    )

@@ -1,0 +1,124 @@
+"""Force-directed scheduling (Paulin & Knight).
+
+Latency-constrained scheduling that balances the per-class *distribution
+graphs* so the number of concurrently active units of each class is
+minimized.  Not required to reproduce the paper's tables (the paper uses a
+fixed allocation and list scheduling suffices), but it completes the HLS
+substrate: the future-work section of the paper calls for integrating the
+controller scheme into a full synthesis tool, and force-directed scheduling
+is the canonical latency-constrained scheduler such a tool offers.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import schedule_length
+from ..core.dfg import DataflowGraph
+from ..core.ops import ResourceClass
+from ..errors import SchedulingError
+from .schedule import TimeStepSchedule
+
+
+def _frames(
+    dfg: DataflowGraph,
+    fixed: dict[str, int],
+    horizon: int,
+) -> dict[str, tuple[int, int]]:
+    """Current [ASAP, ALAP] start-time frame of every op, honouring fixed.
+
+    Fixed operations have a one-point frame; frames of the rest tighten
+    through dependency propagation.
+    """
+    asap: dict[str, int] = {}
+    for op in dfg:
+        earliest = max(
+            (asap[p] + 1 for p in dfg.predecessors(op.name)), default=0
+        )
+        if op.name in fixed:
+            if fixed[op.name] < earliest:
+                raise SchedulingError(
+                    f"fixed step {fixed[op.name]} of {op.name!r} violates "
+                    f"a dependency"
+                )
+            earliest = fixed[op.name]
+        asap[op.name] = earliest
+    alap: dict[str, int] = {}
+    for op in reversed(dfg.operations()):
+        latest = min(
+            (alap[s] - 1 for s in dfg.successors(op.name)), default=horizon - 1
+        )
+        if op.name in fixed:
+            latest = fixed[op.name]
+        if latest < asap[op.name]:
+            raise SchedulingError(
+                f"empty time frame for {op.name!r} at horizon {horizon}"
+            )
+        alap[op.name] = latest
+    return {name: (asap[name], alap[name]) for name in asap}
+
+
+def _distribution(
+    dfg: DataflowGraph,
+    frames: dict[str, tuple[int, int]],
+    horizon: int,
+) -> dict[ResourceClass, list[float]]:
+    """Per-class expected concurrency at each step (distribution graphs)."""
+    dist: dict[ResourceClass, list[float]] = {
+        rc: [0.0] * horizon for rc in dfg.resource_classes()
+    }
+    for op in dfg:
+        lo, hi = frames[op.name]
+        weight = 1.0 / (hi - lo + 1)
+        row = dist[op.resource_class]
+        for t in range(lo, hi + 1):
+            row[t] += weight
+    return dist
+
+
+def force_directed_schedule(
+    dfg: DataflowGraph, horizon: "int | None" = None
+) -> TimeStepSchedule:
+    """Schedule within ``horizon`` steps minimizing peak concurrency.
+
+    Classic self-force minimization: repeatedly commit the (operation,
+    step) choice with the lowest force — the increase in distribution-graph
+    load caused by collapsing the operation's frame to that step, including
+    the induced tightening of predecessor/successor frames.
+    """
+    if horizon is None:
+        horizon = schedule_length(dfg)
+    if horizon < schedule_length(dfg):
+        raise SchedulingError(
+            f"horizon {horizon} below critical path "
+            f"{schedule_length(dfg)}"
+        )
+    fixed: dict[str, int] = {}
+    while len(fixed) < len(dfg):
+        frames = _frames(dfg, fixed, horizon)
+        dist = _distribution(dfg, frames, horizon)
+        best: "tuple[float, str, int] | None" = None
+        for op in dfg:
+            if op.name in fixed:
+                continue
+            lo, hi = frames[op.name]
+            for step in range(lo, hi + 1):
+                trial = dict(fixed)
+                trial[op.name] = step
+                try:
+                    trial_frames = _frames(dfg, trial, horizon)
+                except SchedulingError:
+                    continue
+                trial_dist = _distribution(dfg, trial_frames, horizon)
+                force = 0.0
+                for rc, row in trial_dist.items():
+                    base = dist[rc]
+                    force += sum(
+                        (row[t] - base[t]) * base[t] for t in range(horizon)
+                    )
+                key = (force, op.name, step)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            raise SchedulingError("force-directed scheduling is stuck")
+        _, name, step = best
+        fixed[name] = step
+    return TimeStepSchedule(dfg=dfg, start=fixed)

@@ -1,0 +1,81 @@
+"""Resource-constrained list scheduling.
+
+The classic HLS workhorse: walk time steps forward; at each step start the
+ready operations with the least slack first, limited by the per-class unit
+counts.  The resulting :class:`~repro.scheduling.schedule.TimeStepSchedule`
+is the basis for the centralized TAUBM controllers *and* (through the order
+it implies) for the order-based schedule the distributed controllers use —
+so every controller style in an experiment controls the same execution
+order and the comparison isolates the control-structure effect.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import alap_start_times, schedule_length
+from ..core.dfg import DataflowGraph
+from ..core.ops import ResourceClass
+from ..errors import SchedulingError
+from ..resources.allocation import ResourceAllocation
+from .schedule import TimeStepSchedule
+
+
+def list_schedule(
+    dfg: DataflowGraph,
+    allocation: ResourceAllocation,
+    horizon_slack: int = 0,
+) -> TimeStepSchedule:
+    """Priority list scheduling under the allocation's unit counts.
+
+    Priority: smaller ALAP start first (less mobility = more urgent), name
+    as a deterministic tie-break.  ``horizon_slack`` loosens the ALAP
+    horizon used for priorities (it never affects feasibility).
+    """
+    allocation.validate_for(dfg)
+    limits: dict[ResourceClass, int] = {
+        rc: allocation.count(rc) for rc in dfg.resource_classes()
+    }
+    # Priorities from ALAP on a generous horizon (list scheduling may
+    # exceed the critical path under resource constraints).
+    horizon = schedule_length(dfg) + horizon_slack + len(dfg)
+    alap = alap_start_times(dfg, horizon)
+
+    remaining_preds = {
+        op.name: len(dfg.predecessors(op.name)) for op in dfg
+    }
+    ready = sorted(
+        (name for name, n in remaining_preds.items() if n == 0),
+        key=lambda n: (alap[n], n),
+    )
+    start: dict[str, int] = {}
+    finished_count = 0
+    step = 0
+    while finished_count < len(dfg):
+        if not ready:
+            raise SchedulingError(
+                f"no ready operations at step {step}; graph {dfg.name!r} "
+                f"has a dependency inconsistency"
+            )
+        budget = dict(limits)
+        started_now: list[str] = []
+        deferred: list[str] = []
+        for name in ready:
+            rc = dfg.op(name).resource_class
+            if budget[rc] > 0:
+                budget[rc] -= 1
+                start[name] = step
+                started_now.append(name)
+            else:
+                deferred.append(name)
+        # Unit-duration steps: everything started this step finishes now.
+        newly_ready: list[str] = []
+        for name in started_now:
+            finished_count += 1
+            for succ in dfg.successors(name):
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    newly_ready.append(succ)
+        ready = sorted(
+            deferred + newly_ready, key=lambda n: (alap[n], n)
+        )
+        step += 1
+    return TimeStepSchedule(dfg=dfg, start=start)

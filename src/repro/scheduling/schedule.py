@@ -1,0 +1,248 @@
+"""Schedule data models.
+
+Two schedule notions coexist in the paper:
+
+* the classical **time-step schedule** (every operation pinned to a step,
+  §2) that the centralized TAUBM FSMs are derived from, and
+* the **order-based schedule** (§3) that only fixes the execution order of
+  operations sharing an arithmetic unit via *schedule arcs*, leaving all
+  remaining concurrency to the distributed controllers.
+
+Both are immutable artifacts produced by the schedulers in this package and
+consumed by binding, FSM derivation and the analytic latency engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.dfg import DataflowGraph
+from ..core.ops import ResourceClass
+from ..core.validate import validate_extra_edges
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class TimeStepSchedule:
+    """Every operation pinned to a start time step (0-based)."""
+
+    dfg: DataflowGraph
+    start: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        for op in self.dfg:
+            if op.name not in self.start:
+                raise SchedulingError(f"operation {op.name!r} not scheduled")
+            step = self.start[op.name]
+            if step < 0:
+                raise SchedulingError(
+                    f"operation {op.name!r} scheduled at negative step {step}"
+                )
+            for pred in self.dfg.predecessors(op.name):
+                if self.start[pred] >= step:
+                    raise SchedulingError(
+                        f"dependency violated: {pred!r} (step "
+                        f"{self.start[pred]}) must precede {op.name!r} "
+                        f"(step {step})"
+                    )
+
+    @property
+    def num_steps(self) -> int:
+        """Number of time steps the schedule spans."""
+        return max(self.start.values()) + 1 if self.start else 0
+
+    def ops_in_step(self, step: int) -> tuple[str, ...]:
+        """Operations starting in a given step, topological order."""
+        return tuple(
+            op.name for op in self.dfg if self.start[op.name] == step
+        )
+
+    def steps(self) -> tuple[tuple[str, ...], ...]:
+        """All steps as tuples of operation names."""
+        return tuple(self.ops_in_step(t) for t in range(self.num_steps))
+
+    def resource_usage(self) -> dict[ResourceClass, int]:
+        """Peak per-class concurrency (units needed by this schedule)."""
+        usage: dict[ResourceClass, int] = {}
+        for step_ops in self.steps():
+            counts: dict[ResourceClass, int] = {}
+            for name in step_ops:
+                rc = self.dfg.op(name).resource_class
+                counts[rc] = counts.get(rc, 0) + 1
+            for rc, n in counts.items():
+                usage[rc] = max(usage.get(rc, 0), n)
+        return usage
+
+    def describe(self) -> str:
+        """Multi-line listing of the schedule, one line per step."""
+        lines = [f"schedule of {self.dfg.name!r} ({self.num_steps} steps):"]
+        for t, ops in enumerate(self.steps()):
+            lines.append(f"  T{t}: {', '.join(ops) if ops else '(empty)'}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OrderSchedule:
+    """The §3 artifact: per-class execution chains plus schedule arcs.
+
+    ``chains`` assigns every operation of a resource class to exactly one
+    chain (one future arithmetic unit), in execution order.  The
+    ``schedule_arcs`` are the inserted (non-data) arcs between chain
+    neighbours; together with the data edges they form the *execution
+    graph* whose weighted longest path is the distributed latency.
+    """
+
+    dfg: DataflowGraph
+    chains: Mapping[ResourceClass, tuple[tuple[str, ...], ...]]
+    schedule_arcs: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        validate_extra_edges(self.dfg, self.schedule_arcs)
+        assigned: set[str] = set()
+        for rc, rc_chains in self.chains.items():
+            for chain in rc_chains:
+                for name in chain:
+                    if self.dfg.op(name).resource_class is not rc:
+                        raise SchedulingError(
+                            f"operation {name!r} in a {rc.value} chain has "
+                            f"class {self.dfg.op(name).resource_class.value}"
+                        )
+                    if name in assigned:
+                        raise SchedulingError(
+                            f"operation {name!r} assigned to two chains"
+                        )
+                    assigned.add(name)
+        missing = set(self.dfg.op_names()) - assigned
+        if missing:
+            raise SchedulingError(
+                f"operations not assigned to any chain: {sorted(missing)}"
+            )
+
+    def execution_edges(self) -> tuple[tuple[str, str], ...]:
+        """Data edges plus schedule arcs (the execution graph)."""
+        return self.dfg.edges() + self.schedule_arcs
+
+    def chain_of(self, op_name: str) -> tuple[str, ...]:
+        """The chain containing an operation."""
+        rc = self.dfg.op(op_name).resource_class
+        for chain in self.chains.get(rc, ()):
+            if op_name in chain:
+                return chain
+        raise SchedulingError(f"operation {op_name!r} is in no chain")
+
+    def all_chains(self) -> tuple[tuple[ResourceClass, tuple[str, ...]], ...]:
+        """Flat list of (class, chain) pairs in stable order."""
+        result = []
+        for rc in self.dfg.resource_classes():
+            for chain in self.chains.get(rc, ()):
+                result.append((rc, chain))
+        return tuple(result)
+
+    def num_units_required(self) -> dict[ResourceClass, int]:
+        """Units each class needs: one per (non-empty) chain."""
+        return {
+            rc: sum(1 for c in rc_chains if c)
+            for rc, rc_chains in self.chains.items()
+        }
+
+    def describe(self) -> str:
+        """Multi-line listing: chains per class plus inserted arcs."""
+        lines = [f"order schedule of {self.dfg.name!r}:"]
+        for rc, chain in self.all_chains():
+            lines.append(f"  {rc.value}: {' -> '.join(chain)}")
+        arcs = ", ".join(f"{u}->{v}" for u, v in self.schedule_arcs)
+        lines.append(f"  schedule arcs: {arcs if arcs else '(none)'}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TaubmStep:
+    """One macro time step of a TAUBM schedule (paper Fig. 2(b)).
+
+    Steps containing TAU-bound operations are split into ``T_i`` and
+    ``T_i'``; the extension is taken at run time only when some TAU
+    operation in the step is slow.
+    """
+
+    index: int
+    ops: tuple[str, ...]
+    tau_ops: tuple[str, ...]
+
+    @property
+    def has_extension(self) -> bool:
+        """Whether this step owns a conditional ``T_i'`` extension."""
+        return bool(self.tau_ops)
+
+    @property
+    def fixed_ops(self) -> tuple[str, ...]:
+        """Operations of the step on fixed-delay units."""
+        return tuple(o for o in self.ops if o not in set(self.tau_ops))
+
+
+@dataclass(frozen=True)
+class TaubmSchedule:
+    """A time-step schedule annotated with TAU extensions (Fig. 2(b))."""
+
+    base: TimeStepSchedule
+    steps: tuple[TaubmStep, ...]
+
+    @property
+    def dfg(self) -> DataflowGraph:
+        return self.base.dfg
+
+    def min_cycles(self) -> int:
+        """Best-case cycle count (every extension skipped)."""
+        return len(self.steps)
+
+    def max_cycles(self) -> int:
+        """Worst-case cycle count (every extension taken)."""
+        return len(self.steps) + sum(s.has_extension for s in self.steps)
+
+    def cycles_for(self, fast: Mapping[str, bool]) -> int:
+        """Cycle count for one fast/slow assignment (synchronized steps)."""
+        total = 0
+        for step in self.steps:
+            total += 1
+            if step.has_extension and not all(
+                fast[name] for name in step.tau_ops
+            ):
+                total += 1
+        return total
+
+    def cycles_for_durations(self, durations: Mapping[str, int]) -> int:
+        """Cycle count when each TAU op takes a given cycle count.
+
+        The multi-level generalization of :meth:`cycles_for`: a step runs
+        until its slowest operation is done, so it costs the maximum of
+        its operations' durations (1 for TAU-free steps).
+        """
+        total = 0
+        for step in self.steps:
+            total += max(
+                (durations[name] for name in step.tau_ops), default=1
+            )
+        return total
+
+    def expected_cycles(self, p: float) -> float:
+        """Closed-form expected cycle count under i.i.d. Bernoulli(p).
+
+        A step with ``n`` TAU operations extends with probability
+        ``1 - p**n`` — the paper's first TAUBM problem (§2.3).
+        """
+        total = 0.0
+        for step in self.steps:
+            total += 1.0
+            if step.has_extension:
+                total += 1.0 - p ** len(step.tau_ops)
+        return total
+
+    def describe(self) -> str:
+        """Multi-line listing with extension markers."""
+        lines = [f"TAUBM schedule of {self.dfg.name!r}:"]
+        for step in self.steps:
+            mark = "  + T'" if step.has_extension else ""
+            lines.append(
+                f"  T{step.index}: {', '.join(step.ops)}{mark}"
+            )
+        return "\n".join(lines)

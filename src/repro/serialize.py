@@ -1,0 +1,191 @@
+"""JSON (de)serialization of dataflow graphs, FSMs and whole designs.
+
+Lets synthesized artifacts leave the Python process — for version control
+of golden controllers, for diffing two synthesis runs, or for feeding
+external tools.  Round-trips are exact: ``fsm_from_dict(fsm_to_dict(f))``
+reproduces the machine bit-for-bit (tests enforce it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .core.dfg import ConstRef, DataflowGraph, InputRef, OpRef, Operand
+from .core.ops import OpType
+from .errors import ReproError
+from .fsm.model import FSM, Transition
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Dataflow graphs
+# ----------------------------------------------------------------------
+def _operand_to_dict(operand: Operand) -> dict[str, Any]:
+    if isinstance(operand, InputRef):
+        return {"kind": "input", "name": operand.name}
+    if isinstance(operand, ConstRef):
+        return {"kind": "const", "value": operand.value}
+    assert isinstance(operand, OpRef)
+    return {"kind": "op", "name": operand.op}
+
+
+def _operand_from_dict(data: Mapping[str, Any]) -> Operand:
+    kind = data.get("kind")
+    if kind == "input":
+        return InputRef(data["name"])
+    if kind == "const":
+        return ConstRef(int(data["value"]))
+    if kind == "op":
+        return OpRef(data["name"])
+    raise ReproError(f"unknown operand kind {kind!r}")
+
+
+def dfg_to_dict(dfg: DataflowGraph) -> dict[str, Any]:
+    """Serialize a dataflow graph to plain JSON-compatible data."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": dfg.name,
+        "inputs": list(dfg.inputs),
+        "operations": [
+            {
+                "name": op.name,
+                "type": op.op_type.name,
+                "operands": [_operand_to_dict(o) for o in op.operands],
+            }
+            for op in dfg
+        ],
+        "outputs": dict(dfg.outputs),
+    }
+
+
+def dfg_from_dict(data: Mapping[str, Any]) -> DataflowGraph:
+    """Rebuild a dataflow graph from :func:`dfg_to_dict` data."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported DFG format {data.get('format')!r}"
+        )
+    dfg = DataflowGraph(data["name"])
+    for name in data["inputs"]:
+        dfg.add_input(name)
+    for record in data["operations"]:
+        try:
+            op_type = OpType[record["type"]]
+        except KeyError:
+            raise ReproError(
+                f"unknown operation type {record['type']!r}"
+            ) from None
+        operands = [_operand_from_dict(o) for o in record["operands"]]
+        dfg.add_op(record["name"], op_type, *operands)
+    for out_name, op_name in data["outputs"].items():
+        dfg.set_output(out_name, op_name)
+    return dfg
+
+
+# ----------------------------------------------------------------------
+# FSMs
+# ----------------------------------------------------------------------
+def fsm_to_dict(fsm: FSM) -> dict[str, Any]:
+    """Serialize an FSM to plain JSON-compatible data."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": fsm.name,
+        "states": list(fsm.states),
+        "initial": fsm.initial,
+        "inputs": list(fsm.inputs),
+        "outputs": list(fsm.outputs),
+        "initial_starts": sorted(fsm.initial_starts),
+        "transitions": [
+            {
+                "source": t.source,
+                "target": t.target,
+                "guard": [[name, value] for name, value in t.guard],
+                "outputs": sorted(t.outputs),
+                "starts": sorted(t.starts),
+                "completes": sorted(t.completes),
+                "queries": t.queries,
+            }
+            for t in fsm.transitions
+        ],
+    }
+
+
+def fsm_from_dict(data: Mapping[str, Any]) -> FSM:
+    """Rebuild an FSM from :func:`fsm_to_dict` data (and validate it)."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported FSM format {data.get('format')!r}"
+        )
+    transitions = tuple(
+        Transition(
+            source=t["source"],
+            target=t["target"],
+            guard=tuple((name, bool(value)) for name, value in t["guard"]),
+            outputs=frozenset(t["outputs"]),
+            starts=frozenset(t["starts"]),
+            completes=frozenset(t["completes"]),
+            queries=t.get("queries"),
+        )
+        for t in data["transitions"]
+    )
+    fsm = FSM(
+        name=data["name"],
+        states=tuple(data["states"]),
+        initial=data["initial"],
+        inputs=tuple(data["inputs"]),
+        outputs=tuple(data["outputs"]),
+        transitions=transitions,
+        initial_starts=frozenset(data.get("initial_starts", ())),
+    )
+    fsm.validate()
+    return fsm
+
+
+# ----------------------------------------------------------------------
+# Whole designs
+# ----------------------------------------------------------------------
+def design_to_dict(result) -> dict[str, Any]:
+    """Serialize a :class:`~repro.api.SynthesisResult`'s design record.
+
+    Captures everything needed to audit or diff a synthesis run: graph,
+    allocation, schedule, chains, schedule arcs, binding and the pruned
+    per-unit controller FSMs.
+    """
+    allocation = result.allocation
+    return {
+        "format": FORMAT_VERSION,
+        "dfg": dfg_to_dict(result.dfg),
+        "allocation": [
+            {
+                "name": u.name,
+                "class": u.resource_class.value,
+                "telescopic": u.is_telescopic,
+                "level_delays_ns": list(u.level_delays_ns),
+            }
+            for u in allocation
+        ],
+        "clock_ns": allocation.clock_period_ns(),
+        "schedule": dict(result.schedule.start),
+        "schedule_arcs": [list(arc) for arc in result.order.schedule_arcs],
+        "chains": {
+            rc.value: [list(chain) for chain in chains]
+            for rc, chains in result.order.chains.items()
+        },
+        "binding": dict(result.bound.binding),
+        "controllers": {
+            unit: fsm_to_dict(fsm)
+            for unit, fsm in result.distributed.controllers.items()
+        },
+        "pruned_signals": list(result.distributed.pruned_signals),
+    }
+
+
+def dumps(data: Mapping[str, Any], indent: int = 2) -> str:
+    """JSON text for any of the dictionaries above."""
+    return json.dumps(data, indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> dict[str, Any]:
+    """Parse JSON text produced by :func:`dumps`."""
+    return json.loads(text)

@@ -1,0 +1,52 @@
+"""Cycle-accurate simulation of control units and datapaths."""
+
+from .controllers import (
+    ControllerSystem,
+    SystemConfig,
+    SystemStep,
+    single_fsm_system,
+    system_from_bound,
+)
+from .datapath import Datapath
+from .runner import (
+    LatencyStatistics,
+    monte_carlo_latency,
+    pipelined_throughput,
+    simulate_assignment,
+)
+from .simulator import SimulationResult, simulate
+from .trace import CycleRecord, SimulationTrace, gantt
+from .stimulus import (
+    ValueDistribution,
+    constant_streams,
+    input_streams,
+    small_values,
+    sparse_values,
+    uniform_values,
+)
+from .vcd import trace_to_vcd
+
+__all__ = [
+    "ControllerSystem",
+    "CycleRecord",
+    "Datapath",
+    "LatencyStatistics",
+    "SimulationResult",
+    "SimulationTrace",
+    "SystemConfig",
+    "SystemStep",
+    "ValueDistribution",
+    "constant_streams",
+    "gantt",
+    "input_streams",
+    "monte_carlo_latency",
+    "pipelined_throughput",
+    "simulate",
+    "simulate_assignment",
+    "small_values",
+    "sparse_values",
+    "single_fsm_system",
+    "system_from_bound",
+    "trace_to_vcd",
+    "uniform_values",
+]

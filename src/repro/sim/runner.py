@@ -1,0 +1,93 @@
+"""Batch simulation runners: Monte-Carlo statistics and throughput."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..binding.binder import BoundDataflowGraph
+from ..resources.completion import (
+    AssignmentCompletion,
+    BernoulliCompletion,
+    CompletionModel,
+)
+from .controllers import ControllerSystem
+from .simulator import SimulationResult, simulate
+
+
+@dataclass(frozen=True)
+class LatencyStatistics:
+    """Summary of many simulated first-iteration latencies (cycles)."""
+
+    trials: int
+    mean: float
+    std: float
+    minimum: int
+    maximum: int
+
+    def mean_ns(self, clock_ns: float) -> float:
+        return self.mean * clock_ns
+
+
+def monte_carlo_latency(
+    system: ControllerSystem,
+    bound: BoundDataflowGraph,
+    p: float,
+    trials: int = 200,
+    seed: int = 0,
+) -> LatencyStatistics:
+    """Simulate ``trials`` runs under Bernoulli(p) completion."""
+    model = BernoulliCompletion(p)
+    samples = []
+    for trial in range(trials):
+        result = simulate(system, bound, model, seed=seed + trial)
+        samples.append(result.cycles)
+    mean = sum(samples) / len(samples)
+    variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return LatencyStatistics(
+        trials=trials,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def simulate_assignment(
+    system: ControllerSystem,
+    bound: BoundDataflowGraph,
+    fast: Mapping[str, bool],
+    **kwargs,
+) -> SimulationResult:
+    """Simulate one exact fast/slow scenario (for analytic cross-checks)."""
+    fast_map = {op.name: True for op in bound.dfg}
+    fast_map.update(fast)
+    return simulate(system, bound, AssignmentCompletion(fast_map), **kwargs)
+
+
+def pipelined_throughput(
+    system: ControllerSystem,
+    bound: BoundDataflowGraph,
+    completion: CompletionModel,
+    iterations: int = 8,
+    seed: int = 0,
+    inputs: "Mapping[str, Sequence[int]] | None" = None,
+) -> tuple[SimulationResult, float]:
+    """Back-to-back iteration run; returns (result, cycles/iteration).
+
+    The wrap-around transitions of Algorithm 1 controllers let independent
+    units begin iteration ``k+1`` while others still finish ``k`` — the
+    throughput gain over the single-iteration latency quantifies the
+    concurrency the distributed structure preserves across iterations (an
+    extension beyond the paper's Table 2).
+    """
+    result = simulate(
+        system,
+        bound,
+        completion,
+        iterations=iterations,
+        seed=seed,
+        inputs=inputs,
+    )
+    return result, result.throughput_cycles()

@@ -1,0 +1,196 @@
+"""Cycle-accurate simulation of control units over a bound dataflow graph.
+
+Drives a :class:`~repro.sim.controllers.ControllerSystem` — distributed
+per-unit controllers, the centralized synchronized FSM, or the product
+CENT-FSM — clock edge by clock edge:
+
+1. sample the completion model when an operation starts on a telescopic
+   unit (optionally feeding it real operand values from a
+   :class:`~repro.sim.datapath.Datapath`),
+2. present each unit's CSG value during the operation's first cycle,
+3. step every controller, deliver completion pulses, update latches,
+4. record start/finish cycles per operation and per iteration.
+
+The first-iteration latency this measures is exactly what the paper's
+Table 2 reports; the analytic engine in :mod:`repro.analysis` must agree
+cycle-for-cycle (enforced by tests).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..binding.binder import BoundDataflowGraph
+from ..errors import SimulationError
+from ..resources.completion import CompletionModel
+from .controllers import ControllerSystem
+from .datapath import Datapath
+from .trace import CycleRecord, SimulationTrace
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    cycles: int
+    clock_ns: float
+    start_cycles: Mapping[str, int]
+    finish_cycles: Mapping[str, int]
+    iteration_finish_cycles: tuple[int, ...]
+    fast_outcomes: Mapping[str, tuple[bool, ...]]
+    level_outcomes: Mapping[str, tuple[int, ...]] = None
+    token_overruns: int = 0
+    trace: "SimulationTrace | None" = None
+    datapath: "Datapath | None" = None
+
+    @property
+    def latency_ns(self) -> float:
+        """First-iteration latency in nanoseconds."""
+        return self.cycles * self.clock_ns
+
+    def throughput_cycles(self) -> float:
+        """Average cycles per iteration in steady state (>= 2 iterations)."""
+        finishes = self.iteration_finish_cycles
+        if len(finishes) < 2:
+            raise SimulationError(
+                "throughput needs at least two simulated iterations"
+            )
+        return (finishes[-1] - finishes[0]) / (len(finishes) - 1)
+
+
+def simulate(
+    system: ControllerSystem,
+    bound: BoundDataflowGraph,
+    completion: CompletionModel,
+    *,
+    iterations: int = 1,
+    seed: int = 0,
+    inputs: "Mapping[str, int | Sequence[int]] | None" = None,
+    record_trace: bool = False,
+    max_cycles: "int | None" = None,
+) -> SimulationResult:
+    """Run a controller system until every op completed ``iterations`` times.
+
+    ``inputs`` enables the value-computing datapath (required for
+    operand-dependent completion models).  ``max_cycles`` bounds the run
+    and turns controller deadlocks into errors instead of hangs.
+    """
+    if iterations < 1:
+        raise SimulationError("iterations must be >= 1")
+    completion.reset()
+    rng = random.Random(seed)
+    ops = system.all_ops()
+    if not ops:
+        raise SimulationError("controller system drives no operations")
+    missing = ops - set(bound.dfg.op_names())
+    if missing:
+        raise SimulationError(f"controllers reference unknown ops {missing}")
+    if max_cycles is None:
+        max_cycles = 16 + 4 * iterations * sum(
+            bound.duration_cycles(op, fast=False) for op in ops
+        )
+    datapath = Datapath(bound.dfg, inputs) if inputs is not None else None
+    trace = SimulationTrace() if record_trace else None
+
+    config = system.initial_config()
+    executing: dict[str, tuple[str, int, int]] = {}  # unit -> (op, duration, t0)
+    start_cycles: dict[str, int] = {}
+    finish_cycles: dict[str, int] = {}
+    completions: dict[str, int] = {op: 0 for op in ops}
+    fast_outcomes: dict[str, list[bool]] = {op: [] for op in ops}
+    level_outcomes: dict[str, list[int]] = {op: [] for op in ops}
+    iteration_finish: list[int] = []
+    overruns = 0
+
+    def begin(op: str, cycle: int) -> None:
+        unit = bound.unit_of(op)
+        operands = datapath.start(op) if datapath is not None else None
+        if unit.is_telescopic:
+            level = int(completion.sample_level(op, unit, operands, rng))
+            duration = bound.duration_for_level(op, level)
+        else:
+            level = 0
+            duration = bound.duration_cycles(op, fast=True)
+        level_outcomes[op].append(level)
+        fast_outcomes[op].append(level == 0)
+        executing[unit.name] = (op, duration, cycle)
+        start_cycles.setdefault(op, cycle)
+
+    for op in system.initial_starts():
+        begin(op, 0)
+
+    cycle = 0
+    target = iterations * len(ops)
+    total_done = 0
+    while total_done < target:
+        if cycle >= max_cycles:
+            raise SimulationError(
+                f"simulation exceeded {max_cycles} cycles "
+                f"({total_done}/{target} completions) — deadlock or "
+                f"livelock in the control unit"
+            )
+        # The CSG reports "done by now": true from the cycle the sampled
+        # telescope level's delay is covered.  Two-level FSMs only look
+        # during the first cycle; multi-level extension states re-check.
+        unit_completions = {
+            unit: (cycle - t0 + 1) >= duration
+            for unit, (op, duration, t0) in executing.items()
+        }
+        result = system.step(config, unit_completions)
+        if trace is not None:
+            trace.append(
+                CycleRecord(
+                    cycle=cycle,
+                    states=tuple(zip(system.keys, config.states)),
+                    unit_completions=tuple(sorted(unit_completions.items())),
+                    outputs=result.outputs,
+                    starts=result.starts,
+                    completes=result.completes,
+                )
+            )
+        for op in result.completes:
+            unit = bound.unit_of(op).name
+            record = executing.get(unit)
+            if record is None or record[0] != op:
+                raise SimulationError(
+                    f"controller completed {op!r} but unit {unit!r} is not "
+                    f"executing it"
+                )
+            del executing[unit]
+            finish_cycles.setdefault(op, cycle + 1)
+            completions[op] += 1
+            if completions[op] <= iterations:
+                total_done += 1
+        for op in result.starts:
+            begin(op, cycle + 1)
+        overruns += len(result.overruns)
+        config = result.config
+        cycle += 1
+        for k in range(len(iteration_finish), iterations):
+            if all(done >= k + 1 for done in completions.values()):
+                iteration_finish.append(cycle)
+            else:
+                break
+
+    if datapath is not None:
+        for k in range(iterations):
+            datapath.verify_iteration(k)
+
+    return SimulationResult(
+        cycles=iteration_finish[0],
+        clock_ns=bound.allocation.clock_period_ns(),
+        start_cycles=start_cycles,
+        finish_cycles=finish_cycles,
+        iteration_finish_cycles=tuple(iteration_finish),
+        fast_outcomes={
+            op: tuple(v) for op, v in fast_outcomes.items()
+        },
+        level_outcomes={
+            op: tuple(v) for op, v in level_outcomes.items()
+        },
+        token_overruns=overruns,
+        trace=trace,
+        datapath=datapath,
+    )

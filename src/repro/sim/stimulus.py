@@ -1,0 +1,77 @@
+"""Input-stimulus generation for datapath simulations.
+
+Produces per-input value streams (one value per dataflow iteration) drawn
+from named operand distributions, so operand-dependent completion models
+(:class:`~repro.resources.completion.OperandCompletion`) can be driven
+with statistically meaningful data — uniform full-scale words, DSP-like
+small samples, or sparse control words.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..core.dfg import DataflowGraph
+
+
+@dataclass(frozen=True)
+class ValueDistribution:
+    """A named generator of single operand values."""
+
+    name: str
+    sampler: Callable[[random.Random], int]
+
+    def sample(self, rng: random.Random) -> int:
+        return self.sampler(rng)
+
+
+def uniform_values(width: int) -> ValueDistribution:
+    """Values uniform over the full ``width``-bit range."""
+    limit = (1 << width) - 1
+    return ValueDistribution(
+        name=f"uniform{width}", sampler=lambda rng: rng.randint(0, limit)
+    )
+
+
+def small_values(width: int, active_bits: int) -> ValueDistribution:
+    """Values confined to the low ``active_bits`` bits (DSP samples)."""
+    limit = (1 << min(active_bits, width)) - 1
+    return ValueDistribution(
+        name=f"small{active_bits}of{width}",
+        sampler=lambda rng: rng.randint(0, limit),
+    )
+
+
+def sparse_values(width: int, ones: int) -> ValueDistribution:
+    """Values with at most ``ones`` set bits (short carry chains)."""
+
+    def sample(rng: random.Random) -> int:
+        value = 0
+        for _ in range(ones):
+            value |= 1 << rng.randrange(width)
+        return value
+
+    return ValueDistribution(name=f"sparse{ones}of{width}", sampler=sample)
+
+
+def input_streams(
+    dfg: DataflowGraph,
+    distribution: ValueDistribution,
+    iterations: int = 1,
+    seed: int = 0,
+) -> dict[str, list[int]]:
+    """One value per iteration for every primary input of a graph."""
+    rng = random.Random(seed)
+    return {
+        name: [distribution.sample(rng) for _ in range(iterations)]
+        for name in dfg.inputs
+    }
+
+
+def constant_streams(
+    dfg: DataflowGraph, values: Mapping[str, int]
+) -> dict[str, list[int]]:
+    """Wrap fixed input values as single-iteration streams."""
+    return {name: [values[name]] for name in dfg.inputs}

@@ -1,0 +1,104 @@
+"""Unit tests for exact latency distributions."""
+
+import pytest
+
+from repro.analysis import (
+    DistLatencyEvaluator,
+    LatencyDistribution,
+    compare_distributions,
+    exact_latency_distribution,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def comparison(fig3_result):
+    return compare_distributions(fig3_result.bound, fig3_result.taubm, p=0.7)
+
+
+class TestLatencyDistribution:
+    def test_pmf_sums_to_one(self, comparison):
+        assert sum(p for _, p in comparison.dist.pmf) == pytest.approx(1.0)
+
+    def test_pmf_validated(self):
+        with pytest.raises(SimulationError, match="sums to"):
+            LatencyDistribution(
+                scheme="x", clock_ns=15.0, pmf=((4, 0.5), (5, 0.2))
+            )
+
+    def test_mean_matches_expectation(self, fig3_result, comparison):
+        expected = fig3_result.latency_comparison(ps=(0.7,))
+        assert comparison.dist.mean() == pytest.approx(
+            expected.dist.expected_cycles[0.7]
+        )
+        assert comparison.sync.mean() == pytest.approx(
+            expected.sync.expected_cycles[0.7]
+        )
+
+    def test_support_within_best_worst(self, fig3_result, comparison):
+        expected = fig3_result.latency_comparison(ps=())
+        assert comparison.dist.support[0] == expected.dist.best_cycles
+        assert comparison.dist.support[-1] == expected.dist.worst_cycles
+
+    def test_quantiles_monotone(self, comparison):
+        dist = comparison.dist
+        assert dist.quantile(0.1) <= dist.quantile(0.5) <= dist.quantile(0.99)
+
+    def test_quantile_range_checked(self, comparison):
+        with pytest.raises(SimulationError, match="quantile"):
+            comparison.dist.quantile(0.0)
+
+    def test_probability_at_most(self, comparison):
+        dist = comparison.dist
+        assert dist.probability_at_most(dist.support[-1]) == pytest.approx(
+            1.0
+        )
+        assert dist.probability_at_most(dist.support[0] - 1) == 0.0
+
+    def test_variance_nonnegative(self, comparison):
+        assert comparison.dist.variance() >= 0
+        assert comparison.dist.std() == pytest.approx(
+            comparison.dist.variance() ** 0.5
+        )
+
+    def test_histogram_renders(self, comparison):
+        text = comparison.dist.histogram()
+        assert "#" in text and "ns" in text
+
+
+class TestDominance:
+    def test_stochastic_dominance(self, comparison):
+        """DIST first-order stochastically dominates CENT-SYNC."""
+        assert comparison.stochastic_dominance_holds()
+
+    def test_p99_budget_not_worse(self, comparison):
+        assert comparison.dist.quantile(0.99) <= comparison.sync.quantile(
+            0.99
+        )
+
+    def test_degenerate_p(self, fig3_result):
+        sure = compare_distributions(
+            fig3_result.bound, fig3_result.taubm, p=1.0
+        )
+        assert len(sure.dist.pmf) == 1
+        assert sure.dist.pmf[0][1] == pytest.approx(1.0)
+
+
+class TestExactDistributionApi:
+    def test_limit_enforced(self, fig3_result):
+        evaluator = DistLatencyEvaluator(fig3_result.bound)
+        with pytest.raises(SimulationError, match="enumeration limit"):
+            exact_latency_distribution(
+                "DIST", evaluator, ["x"] * 30, 0.5, 15.0
+            )
+
+    def test_bad_p(self, fig3_result):
+        evaluator = DistLatencyEvaluator(fig3_result.bound)
+        with pytest.raises(SimulationError, match="P must"):
+            exact_latency_distribution(
+                "DIST",
+                evaluator,
+                fig3_result.bound.telescopic_ops(),
+                -0.1,
+                15.0,
+            )

@@ -1,0 +1,31 @@
+"""Unit tests for table/series rendering."""
+
+from repro.analysis.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(
+            ["name", "value"], [["a", "1"], ["long-name", "22"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all("|" in line for line in (lines[0], *lines[2:]))
+        bars = [line.index("|") for line in (lines[0], *lines[2:])]
+        assert len(set(bars)) == 1
+
+    def test_separator_rule(self):
+        text = render_table(["h"], [["x"]])
+        assert set(text.splitlines()[1]) <= {"-", "+"}
+
+    def test_numeric_cells_stringified(self):
+        text = render_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestRenderSeries:
+    def test_points_listed(self):
+        text = render_series("title", [(0.5, 10.0), (1.0, 20.0)], unit="ns")
+        assert text.startswith("title")
+        assert "0.5" in text
+        assert "20ns" in text

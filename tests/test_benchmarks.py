@@ -1,0 +1,154 @@
+"""Unit tests for the benchmark DFG suite."""
+
+import pytest
+
+from repro.benchmarks import (
+    all_benchmarks,
+    ar_lattice,
+    benchmark,
+    differential_equation,
+    elliptic_wave_filter,
+    fig4_pathological_dfg,
+    fir3,
+    fir5,
+    fir_filter,
+    iir2,
+    iir3,
+    iir_filter,
+    paper_fig2_dfg,
+    paper_fig3_dfg,
+    table2_benchmarks,
+)
+from repro.core.analysis import profile, schedule_length
+from repro.core.ops import ResourceClass
+from repro.core.validate import validate_dfg
+from repro.errors import GraphError, ReproError
+
+
+class TestOperationMixes:
+    """The op counts the paper's rows imply."""
+
+    def test_diffeq_mix(self):
+        prof = profile(differential_equation())
+        mix = dict(prof.ops_by_class)
+        assert mix["mul"] == 6
+        assert mix["add"] == 2
+        assert mix["sub"] == 3  # 2 subtractions + 1 comparison
+
+    def test_fir3_mix(self):
+        mix = dict(profile(fir3()).ops_by_class)
+        assert mix == {"mul": 3, "add": 2}
+
+    def test_fir5_mix(self):
+        mix = dict(profile(fir5()).ops_by_class)
+        assert mix == {"mul": 5, "add": 4}
+
+    def test_iir_mix(self):
+        assert dict(profile(iir2()).ops_by_class) == {"mul": 5, "add": 4}
+        assert dict(profile(iir3()).ops_by_class) == {"mul": 7, "add": 6}
+
+    def test_ar_lattice_mix(self):
+        mix = dict(profile(ar_lattice()).ops_by_class)
+        assert mix == {"mul": 16, "add": 12}
+
+    def test_ewf_mix(self):
+        mix = dict(profile(elliptic_wave_filter()).ops_by_class)
+        assert mix == {"mul": 8, "add": 26}
+
+
+class TestStructure:
+    def test_all_benchmarks_validate(self):
+        for entry in all_benchmarks():
+            validate_dfg(entry.dfg(), require_outputs=True)
+
+    def test_fig2_depth(self):
+        assert schedule_length(paper_fig2_dfg()) == 4
+
+    def test_fig3_depth(self):
+        assert schedule_length(paper_fig3_dfg()) == 4
+
+    def test_fir_evaluates_correctly(self):
+        dfg = fir_filter(4, coefficients=(1, 2, 3, 4))
+        values = dfg.evaluate({"x0": 1, "x1": 1, "x2": 1, "x3": 1})
+        assert values["y"] == 10
+
+    def test_fir_serial_variant(self):
+        tree = fir_filter(6)
+        serial = fir_filter(6, name="serial", tree_adds=False)
+        inputs = {f"x{i}": i + 1 for i in range(6)}
+        assert tree.evaluate(inputs)["y"] == serial.evaluate(inputs)["y"]
+        assert schedule_length(serial) > schedule_length(tree)
+
+    def test_iir_uses_signed_coefficient_form(self):
+        dfg = iir_filter(2)
+        assert not dfg.ops_of_class(ResourceClass.SUBTRACTOR)
+
+    def test_fir_too_small(self):
+        with pytest.raises(GraphError, match="at least two taps"):
+            fir_filter(1)
+
+    def test_iir_bad_order(self):
+        with pytest.raises(GraphError, match="order"):
+            iir_filter(0)
+
+    def test_fig4_pathological_width(self):
+        from repro.scheduling.order_based import minimum_units_required
+
+        dfg = fig4_pathological_dfg(4)
+        assert (
+            minimum_units_required(dfg, ResourceClass.MULTIPLIER) == 4
+        )
+
+    def test_fig4_needs_positive_taus(self):
+        with pytest.raises(ValueError):
+            fig4_pathological_dfg(0)
+
+
+class TestRegistry:
+    def test_table2_rows_in_paper_order(self):
+        titles = [e.title for e in table2_benchmarks()]
+        assert titles == [
+            "3rd FIR",
+            "5th FIR",
+            "2nd IIR",
+            "3rd IIR",
+            "Diff.",
+            "AR-lattice",
+        ]
+
+    def test_allocations_parse(self):
+        for entry in all_benchmarks():
+            allocation = entry.allocation()
+            allocation.validate_for(entry.dfg())
+            allocation.validate_two_level()
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ReproError, match="unknown benchmark"):
+            benchmark("nope")
+
+    def test_diffeq_allocation_matches_paper(self):
+        entry = benchmark("diffeq")
+        alloc = entry.allocation()
+        assert alloc.count(ResourceClass.MULTIPLIER) == 2
+        assert alloc.count(ResourceClass.ADDER) == 1
+        assert alloc.count(ResourceClass.SUBTRACTOR) == 1
+        assert len(alloc.telescopic_units()) == 2
+
+
+class TestFig3PaperClaims:
+    def test_multiplication_dependency_cliques(self):
+        """Fig. 3(b): dependent pairs (o0,o1) and (o6,o8); o4 alone."""
+        from repro.core.dfg import transitive_dependency
+
+        dfg = paper_fig3_dfg()
+        deps = transitive_dependency(dfg)
+        assert "o0" in deps["o1"]
+        assert "o6" in deps["o8"]
+        mults = {"o0", "o1", "o6", "o8"}
+        assert not (deps["o4"] & mults)
+        assert all("o4" not in deps[m] for m in mults)
+
+    def test_fig2_lost_concurrency_example(self):
+        """§2.3: o1 depends on o0 only, not on o3."""
+        dfg = paper_fig2_dfg()
+        assert dfg.predecessors("o1") == ("o0",)

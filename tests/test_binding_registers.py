@@ -1,0 +1,74 @@
+"""Unit tests for left-edge register binding."""
+
+from hypothesis import given, settings
+
+from repro.benchmarks import differential_equation, fir5
+from repro.binding.registers import (
+    Lifetime,
+    left_edge_register_binding,
+    value_lifetimes,
+    verify_register_binding,
+)
+from repro.resources.allocation import ResourceAllocation
+from repro.scheduling.asap_alap import asap_schedule
+from repro.scheduling.list_scheduler import list_schedule
+
+from conftest import random_dfgs
+
+
+class TestLifetimes:
+    def test_birth_at_producer_step(self):
+        sched = asap_schedule(differential_equation())
+        lifetimes = {lt.op: lt for lt in value_lifetimes(sched)}
+        assert lifetimes["m1"].birth == sched.start["m1"]
+
+    def test_output_values_live_to_end(self):
+        sched = asap_schedule(differential_equation())
+        lifetimes = {lt.op: lt for lt in value_lifetimes(sched)}
+        assert lifetimes["a2"].death == sched.num_steps
+
+    def test_overlap_predicate(self):
+        a = Lifetime("a", 0, 2)
+        b = Lifetime("b", 2, 3)
+        c = Lifetime("c", 3, 4)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestLeftEdge:
+    def test_binding_is_legal(self):
+        sched = asap_schedule(differential_equation())
+        binding = left_edge_register_binding(sched)
+        verify_register_binding(sched, binding)
+
+    def test_fewer_registers_than_values(self):
+        dfg = fir5()
+        sched = list_schedule(dfg, ResourceAllocation.parse("mul:2T,add:1"))
+        binding = left_edge_register_binding(sched)
+        assert binding.num_registers < len(dfg)
+
+    def test_register_count_equals_peak_overlap(self):
+        sched = asap_schedule(differential_equation())
+        binding = left_edge_register_binding(sched)
+        lifetimes = value_lifetimes(sched)
+        peak = 0
+        horizon = max(lt.death for lt in lifetimes)
+        for t in range(horizon + 1):
+            live = sum(1 for lt in lifetimes if lt.birth <= t <= lt.death)
+            peak = max(peak, live)
+        # Left-edge is optimal for interval graphs.
+        assert binding.num_registers == peak
+
+    def test_describe(self):
+        sched = asap_schedule(differential_equation())
+        binding = left_edge_register_binding(sched)
+        assert "registers" in binding.describe()
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_dfgs)
+def test_left_edge_legal_on_random_graphs(dfg):
+    """Property: no register ever holds two overlapping lifetimes."""
+    sched = asap_schedule(dfg)
+    binding = left_edge_register_binding(sched)
+    verify_register_binding(sched, binding)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBenchmarksCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "diffeq" in out
+        assert "ar_lattice" in out
+
+
+class TestSynthesizeCommand:
+    def test_prints_artifacts(self, capsys):
+        assert main(["synthesize", "fir3"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule" in out
+        assert "DIST" in out and "CENT-SYNC" in out
+
+    def test_custom_allocation(self, capsys):
+        assert (
+            main(["synthesize", "fir3", "--allocation", "mul:3T,add:2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "TM3" in out
+
+    def test_writes_verilog_and_dot(self, tmp_path, capsys):
+        verilog = tmp_path / "out.v"
+        dot = tmp_path / "out.dot"
+        assert (
+            main(
+                [
+                    "synthesize",
+                    "fig3",
+                    "--verilog",
+                    str(verilog),
+                    "--dot",
+                    str(dot),
+                ]
+            )
+            == 0
+        )
+        assert "module" in verilog.read_text()
+        assert "digraph" in dot.read_text()
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        assert main(["synthesize", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_allocation_fails_cleanly(self, capsys):
+        assert main(["synthesize", "fir3", "--allocation", "bogus"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulateCommand:
+    def test_reports_latency(self, capsys):
+        assert main(["simulate", "fir3", "--p", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "3 cycles = 45 ns" in out
+
+    def test_trace_output(self, capsys):
+        assert main(["simulate", "fir3", "--trace"]) == 0
+        assert "cycle" in capsys.readouterr().out
+
+    def test_writes_vcd(self, tmp_path, capsys):
+        vcd = tmp_path / "wave.vcd"
+        assert main(["simulate", "fir3", "--vcd", str(vcd)]) == 0
+        assert "$enddefinitions" in vcd.read_text()
+
+    def test_pipelined_run(self, capsys):
+        assert main(["simulate", "fir3", "--iterations", "4"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+
+class TestAnalysisCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "fig3"]) == 0
+        assert "Area(Com./Seq.)" in capsys.readouterr().out
+
+    def test_distribution(self, capsys):
+        assert main(["distribution", "fir3", "--p", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "P99 budget" in out
+
+    def test_exact_scheduler_flag(self, capsys):
+        assert main(["simulate", "iir2", "--scheduler", "exact", "--p", "1.0"]) == 0
+        assert "5 cycles" in capsys.readouterr().out
+
+
+class TestUtilizationFlag:
+    def test_simulate_prints_utilization(self, capsys):
+        assert main(["simulate", "fir3", "--utilization"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out and "TM1" in out
+
+
+class TestReportCommand:
+    def test_quick_report_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--quick", "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "# Reproduction report" in text
+        assert "Table 2" in text
+        assert "X12" in text

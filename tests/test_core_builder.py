@@ -1,0 +1,55 @@
+"""Unit tests for DFGBuilder."""
+
+import pytest
+
+from repro.core.builder import DFGBuilder
+from repro.core.ops import OpType
+from repro.errors import GraphError
+
+
+class TestBuilder:
+    def test_full_build(self):
+        b = DFGBuilder("t")
+        x, y = b.inputs("x", "y")
+        m = b.mul("m", x, y)
+        s = b.add("s", m, 1)
+        d = b.sub("d", s, x)
+        c = b.lt("c", d, 100)
+        b.output("out", c)
+        dfg = b.build()
+        assert dfg.name == "t"
+        assert len(dfg) == 4
+        assert dfg.outputs == {"out": "c"}
+
+    def test_mixed_operand_styles(self):
+        b = DFGBuilder("mix")
+        x = b.input("x")
+        m = b.mul("m", x, 3)
+        b.add("a", "m", "x")  # by-name references
+        dfg = b.build()
+        assert dfg.predecessors("a") == ("m",)
+
+    def test_generic_op(self):
+        b = DFGBuilder("g")
+        x = b.input("x")
+        b.op("sh", OpType.SHL, x, 2)
+        dfg = b.build()
+        assert dfg.op("sh").op_type is OpType.SHL
+
+    def test_empty_build_rejected(self):
+        b = DFGBuilder("empty")
+        b.input("x")
+        with pytest.raises(GraphError, match="no operations"):
+            b.build()
+
+    def test_auto_name_unique(self):
+        b = DFGBuilder("auto")
+        names = {b.auto_name("t") for _ in range(10)}
+        assert len(names) == 10
+
+    def test_output_by_ref(self):
+        b = DFGBuilder("o")
+        x = b.input("x")
+        m = b.mul("m", x, x)
+        b.output("y", m)
+        assert b.build().outputs["y"] == "m"

@@ -1,0 +1,39 @@
+"""Unit tests for DOT export."""
+
+from repro.benchmarks import paper_fig3_dfg
+from repro.core.dot import dfg_to_dot
+
+
+class TestDfgToDot:
+    def test_contains_all_ops(self):
+        dfg = paper_fig3_dfg()
+        dot = dfg_to_dot(dfg)
+        for op in dfg:
+            assert f'"{op.name}"' in dot
+
+    def test_schedule_arcs_dashed(self):
+        dfg = paper_fig3_dfg()
+        dot = dfg_to_dot(dfg, schedule_arcs=(("o1", "o8"),))
+        assert '"o1" -> "o8" [style=dashed' in dot
+
+    def test_ranks_from_start_times(self):
+        dfg = paper_fig3_dfg()
+        dot = dfg_to_dot(dfg, start_times={op.name: 0 for op in dfg})
+        assert "rank=same" in dot
+
+    def test_binding_annotation(self):
+        dfg = paper_fig3_dfg()
+        dot = dfg_to_dot(dfg, binding={"o0": "TM1"})
+        assert "TM1" in dot
+
+    def test_io_nodes_optional(self):
+        dfg = paper_fig3_dfg()
+        with_io = dfg_to_dot(dfg, include_io=True)
+        without_io = dfg_to_dot(dfg, include_io=False)
+        assert "in_a" in with_io
+        assert "in_a" not in without_io
+
+    def test_well_formed(self):
+        dot = dfg_to_dot(paper_fig3_dfg())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")

@@ -1,0 +1,207 @@
+"""Failure-injection tests: do the safety nets actually catch bugs?
+
+Each test deliberately breaks one layer — a controller FSM, the wiring,
+the datapath, a CSG — and asserts the corresponding checker (simulator
+deadlock detection, occupancy checking, datapath verification, FSM
+validation, CSG safety verification) reports it.  A reproduction whose
+checks cannot fail is not checking anything.
+"""
+
+import pytest
+
+from repro.errors import FSMError, LogicError, SimulationError
+from repro.fsm.model import FSM, Transition, make_transition
+from repro.resources import AllFastCompletion, AllSlowCompletion
+from repro.sim import ControllerSystem, simulate
+
+
+def _mutate_fsm(fsm: FSM, transitions) -> FSM:
+    return FSM(
+        name=fsm.name,
+        states=fsm.states,
+        initial=fsm.initial,
+        inputs=fsm.inputs,
+        outputs=fsm.outputs,
+        transitions=tuple(transitions),
+        initial_starts=fsm.initial_starts,
+    )
+
+
+class TestControllerMutations:
+    def test_dropped_completion_pulse_deadlocks(self, fig3_result):
+        """Remove a CC output: the consumer never fires → deadlock."""
+        dcu = fig3_result.distributed
+        victim_unit = None
+        victim_signal = None
+        for net in dcu.live_nets():
+            victim_unit = net.producer_unit
+            victim_signal = f"CC_{net.producer_op}"
+            break
+        fsm = dcu.controller(victim_unit)
+        broken = _mutate_fsm(
+            fsm,
+            (
+                Transition(
+                    source=t.source,
+                    target=t.target,
+                    guard=t.guard,
+                    outputs=frozenset(t.outputs - {victim_signal}),
+                    starts=t.starts,
+                    completes=t.completes,
+                    queries=t.queries,
+                )
+                for t in fsm.transitions
+            ),
+        )
+        controllers = dict(dcu.controllers)
+        controllers[victim_unit] = broken
+        system = ControllerSystem(
+            controllers,
+            consumes={
+                (key, op): fig3_result.bound.cross_unit_predecessors(op)
+                for key in controllers
+                for op in fig3_result.bound.ops_on_unit(key)
+                if fig3_result.bound.cross_unit_predecessors(op)
+            },
+        )
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate(system, fig3_result.bound, AllFastCompletion())
+
+    def test_skipped_ready_wait_breaks_dataflow(self, fig3_result):
+        """Bypass a ready state (start without tokens): the datapath
+        verifier flags the premature start as a control bug."""
+        dcu = fig3_result.distributed
+        controllers = {}
+        for unit_name, fsm in dcu.controllers.items():
+            mutated = []
+            for t in fsm.transitions:
+                if t.source.startswith("R_") and t.source == t.target:
+                    # Ready self-loop now releases immediately.
+                    op = t.source[2:]
+                    mutated.append(
+                        Transition(
+                            source=t.source,
+                            target=f"S_{op}",
+                            guard=t.guard,
+                            outputs=t.outputs,
+                            starts=frozenset({op}),
+                            completes=t.completes,
+                            queries=t.queries,
+                        )
+                    )
+                else:
+                    mutated.append(t)
+            controllers[unit_name] = _mutate_fsm(fsm, mutated)
+        from repro.sim import system_from_bound
+
+        system = system_from_bound(fig3_result.bound, controllers)
+        inputs = {n: i + 1 for i, n in enumerate(fig3_result.dfg.inputs)}
+        with pytest.raises(SimulationError, match="control bug"):
+            simulate(
+                system,
+                fig3_result.bound,
+                AllSlowCompletion(),
+                inputs=inputs,
+            )
+
+    def test_double_occupancy_detected(self, fig2_result):
+        """A rogue controller claiming a second op on a busy unit trips
+        the executing-record check."""
+        dcu = fig2_result.distributed
+        bound = fig2_result.bound
+        unit_name = next(
+            u.name
+            for u in bound.used_units()
+            if len(bound.ops_on_unit(u.name)) >= 2
+        )
+        second_op = bound.ops_on_unit(unit_name)[1]
+        rogue = FSM(
+            name="rogue",
+            states=("E", "D"),
+            initial="E",
+            inputs=(),
+            outputs=(),
+            transitions=(
+                make_transition("E", "D", {}, completes=(second_op,)),
+                make_transition("D", "D", {}),
+            ),
+            initial_starts=frozenset({second_op}),
+        )
+        controllers = dict(dcu.controllers)
+        controllers["rogue"] = rogue
+        system = ControllerSystem(controllers, consumes={})
+        with pytest.raises(SimulationError, match="not executing"):
+            simulate(system, bound, AllFastCompletion())
+
+
+class TestValidationNets:
+    def test_incomplete_fsm_caught_at_validation(self, fig3_result):
+        fsm = fig3_result.distributed.controller("TM1")
+        truncated = _mutate_fsm(fsm, fsm.transitions[:-2])
+        with pytest.raises(FSMError):
+            truncated.validate()
+
+    def test_overlapping_guards_caught(self):
+        fsm = FSM(
+            name="overlap",
+            states=("A",),
+            initial="A",
+            inputs=("x",),
+            outputs=(),
+            transitions=(
+                make_transition("A", "A", {"x": True}),
+                make_transition("A", "A", {}),
+            ),
+        )
+        with pytest.raises(FSMError, match="nondeterministic"):
+            fsm.validate()
+
+    def test_cover_verifier_catches_bad_minimizer_output(self):
+        from repro.logic.quine_mccluskey import verify_cover
+        from repro.logic.terms import BooleanFunction, Cube
+
+        f = BooleanFunction(width=3, ones=frozenset({0, 7}))
+        almost = (Cube.minterm(3, 0),)  # misses minterm 7
+        with pytest.raises(AssertionError, match="uncovered"):
+            verify_cover(f, almost)
+
+
+class TestDatapathNets:
+    def test_wrong_arithmetic_detected(self, fig2_result, monkeypatch):
+        """Corrupt one ALU result: the per-iteration verifier fires."""
+        from repro.sim.datapath import Datapath
+
+        original = Datapath.start
+
+        def corrupting_start(self, op_name):
+            operands = original(self, op_name)
+            if op_name == "o5":
+                self._results[op_name][-1] ^= 1
+            return operands
+
+        monkeypatch.setattr(Datapath, "start", corrupting_start)
+        inputs = {n: i + 1 for i, n in enumerate(fig2_result.dfg.inputs)}
+        with pytest.raises(SimulationError, match="datapath mismatch"):
+            simulate(
+                fig2_result.distributed_system(),
+                fig2_result.bound,
+                AllFastCompletion(),
+                inputs=inputs,
+            )
+
+
+class TestCsgNets:
+    def test_optimistic_csg_rejected(self):
+        """A CSG that claims everything is fast must fail verification."""
+        from repro.resources import ArrayMultiplier, verify_csg_safety
+
+        class LyingCsg:
+            def is_fast(self, a, b):
+                return True
+
+        mult = ArrayMultiplier(width=6)
+        tight_sd = mult.base_delay_ns + 1.0
+        with pytest.raises(LogicError, match="unsafe CSG"):
+            verify_csg_safety(
+                LyingCsg(), mult.delay_ns, tight_sd, 6
+            )

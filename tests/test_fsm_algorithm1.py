@@ -1,0 +1,190 @@
+"""Unit tests for Algorithm 1 (per-unit controller derivation)."""
+
+import pytest
+
+from repro.errors import FSMError
+from repro.fsm.algorithm1 import (
+    derive_all_unit_controllers,
+    derive_unit_controller,
+)
+from repro.fsm.signals import (
+    op_completion,
+    operand_fetch,
+    register_enable,
+    state_exec,
+    state_extend,
+    state_ready,
+    unit_completion,
+)
+
+
+class TestTauController:
+    """Structure checks against the paper's Fig. 6 description."""
+
+    def test_states_per_operation(self, fig3_result):
+        bound = fig3_result.bound
+        for unit in bound.allocation.telescopic_units():
+            ops = bound.ops_on_unit(unit.name)
+            fsm = derive_unit_controller(bound, unit.name)
+            for op in ops:
+                assert state_exec(op) in fsm.states
+                assert state_extend(op) in fsm.states
+                has_preds = bool(bound.cross_unit_predecessors(op))
+                assert (state_ready(op) in fsm.states) == has_preds
+
+    def test_extension_transition_holds_operands_only(self, fig3_result):
+        """[S_i -> S_i'] : C_T' / OF_i (paper step 3, first transition)."""
+        bound = fig3_result.bound
+        unit = bound.allocation.telescopic_units()[0]
+        fsm = derive_unit_controller(bound, unit.name)
+        c_t = unit_completion(unit.name)
+        for op in bound.ops_on_unit(unit.name):
+            [t] = [
+                t
+                for t in fsm.transitions_from(state_exec(op))
+                if t.target == state_extend(op)
+            ]
+            assert t.guard == ((c_t, False),)
+            assert t.outputs == {operand_fetch(op)}
+            assert not t.completes
+
+    def test_completing_transitions_assert_of_re_cc(self, fig3_result):
+        bound = fig3_result.bound
+        unit = bound.allocation.telescopic_units()[0]
+        fsm = derive_unit_controller(bound, unit.name)
+        for op in bound.ops_on_unit(unit.name):
+            completing = [
+                t for t in fsm.transitions if op in t.completes
+            ]
+            assert completing
+            for t in completing:
+                assert operand_fetch(op) in t.outputs
+                assert register_enable(op) in t.outputs
+                assert op_completion(op) in t.outputs
+
+    def test_second_cycle_ignores_unit_completion(self, fig3_result):
+        """Transitions out of S_i' never reference C_T (two delay levels)."""
+        bound = fig3_result.bound
+        unit = bound.allocation.telescopic_units()[0]
+        fsm = derive_unit_controller(bound, unit.name)
+        c_t = unit_completion(unit.name)
+        for op in bound.ops_on_unit(unit.name):
+            for t in fsm.transitions_from(state_extend(op)):
+                assert c_t not in dict(t.guard)
+
+    def test_ready_state_waits_for_predecessors(self, fig3_result):
+        bound = fig3_result.bound
+        for unit in bound.used_units():
+            fsm = derive_unit_controller(bound, unit.name)
+            for op in bound.ops_on_unit(unit.name):
+                preds = bound.cross_unit_predecessors(op)
+                if not preds:
+                    continue
+                release = [
+                    t
+                    for t in fsm.transitions_from(state_ready(op))
+                    if t.target == state_exec(op)
+                ]
+                assert len(release) == 1
+                guard = dict(release[0].guard)
+                for p in preds:
+                    assert guard[op_completion(p)] is True
+                assert release[0].starts == {op}
+
+    def test_wraps_to_first_operation(self, fig3_result):
+        """S_{n+1} is S_0 (paper step 3's footnote)."""
+        bound = fig3_result.bound
+        unit = bound.allocation.telescopic_units()[0]
+        ops = bound.ops_on_unit(unit.name)
+        fsm = derive_unit_controller(bound, unit.name)
+        last = ops[-1]
+        first = ops[0]
+        targets = {
+            t.target for t in fsm.transitions if last in t.completes
+        }
+        expected = (
+            state_ready(first)
+            if bound.cross_unit_predecessors(first)
+            else state_exec(first)
+        )
+        assert expected in targets
+
+    def test_validates(self, fig3_result):
+        for unit in fig3_result.bound.used_units():
+            derive_unit_controller(fig3_result.bound, unit.name).validate()
+
+
+class TestFixedController:
+    def test_no_extension_states(self, fig3_result):
+        bound = fig3_result.bound
+        fixed_units = [
+            u for u in bound.used_units() if not u.is_telescopic
+        ]
+        assert fixed_units
+        for unit in fixed_units:
+            fsm = derive_unit_controller(bound, unit.name)
+            assert not any(s.startswith("SX_") for s in fsm.states)
+            assert unit_completion(unit.name) not in fsm.inputs
+
+    def test_single_cycle_completion(self, fig3_result):
+        bound = fig3_result.bound
+        unit = [u for u in bound.used_units() if not u.is_telescopic][0]
+        fsm = derive_unit_controller(bound, unit.name)
+        for op in bound.ops_on_unit(unit.name):
+            for t in fsm.transitions_from(state_exec(op)):
+                assert op in t.completes
+
+
+class TestInitialState:
+    def test_source_chain_starts_executing(self, fig3_result):
+        bound = fig3_result.bound
+        for unit in bound.used_units():
+            ops = bound.ops_on_unit(unit.name)
+            fsm = derive_unit_controller(bound, unit.name)
+            if bound.cross_unit_predecessors(ops[0]):
+                assert fsm.initial == state_ready(ops[0])
+                assert fsm.initial_starts == frozenset()
+            else:
+                assert fsm.initial == state_exec(ops[0])
+                assert fsm.initial_starts == {ops[0]}
+
+
+class TestErrors:
+    def test_empty_unit_rejected(self):
+        from repro.api import synthesize
+        from repro.benchmarks import paper_fig2_dfg
+
+        # Five TAU multipliers for a 4-multiplication graph: one stays idle.
+        result = synthesize(paper_fig2_dfg(), "mul:5T,add:1")
+        idle = [
+            u.name
+            for u in result.allocation
+            if not result.bound.ops_on_unit(u.name)
+        ]
+        assert idle
+        with pytest.raises(FSMError, match="no bound operations"):
+            derive_unit_controller(result.bound, idle[0])
+
+
+def test_derive_all_controllers_cover_used_units(fig3_result):
+    controllers = derive_all_unit_controllers(fig3_result.bound)
+    assert set(controllers) == {
+        u.name for u in fig3_result.bound.used_units()
+    }
+
+
+def test_fig6_shape(fig3_result):
+    """The Fig. 6 machine: a TAU with ops (O_a, O_b) where O_b has one
+    cross-unit predecessor has 5 states and 10 cube transitions."""
+    bound = fig3_result.bound
+    # Find a telescopic unit whose second op has exactly one predecessor.
+    for unit in bound.allocation.telescopic_units():
+        ops = bound.ops_on_unit(unit.name)
+        if len(ops) >= 2 and len(bound.cross_unit_predecessors(ops[1])) == 1:
+            fsm = derive_unit_controller(bound, unit.name)
+            per_op_states = sum(
+                2 + bool(bound.cross_unit_predecessors(op)) for op in ops
+            )
+            assert fsm.num_states == per_op_states
+            return
+    pytest.skip("binding produced no Fig.6-shaped unit")

@@ -1,0 +1,160 @@
+"""Unit tests for encodings, the FSM area model and FSM optimizations."""
+
+import pytest
+
+from repro.errors import FSMError
+from repro.fsm.area import fsm_area, fsm_logic_block, latch_area
+from repro.fsm.encode import (
+    binary_encoding,
+    encode,
+    gray_encoding,
+    one_hot_encoding,
+)
+from repro.fsm.model import FSM, make_transition
+from repro.fsm.optimize import (
+    merge_equivalent_states,
+    prune_outputs,
+    remove_unreachable_states,
+)
+
+
+def toggle_fsm(extra_unreachable: bool = False) -> FSM:
+    states = ["A", "B"]
+    transitions = [
+        make_transition("A", "B", {"go": True}, ("tick",)),
+        make_transition("A", "A", {"go": False}),
+        make_transition("B", "A", {}, ("tock",)),
+    ]
+    if extra_unreachable:
+        states.append("Z")
+        transitions.append(make_transition("Z", "A", {}, ("tick",)))
+    return FSM(
+        name="toggle",
+        states=tuple(states),
+        initial="A",
+        inputs=("go",),
+        outputs=("tick", "tock"),
+        transitions=tuple(transitions),
+    )
+
+
+class TestEncodings:
+    def test_binary_width(self, fig3_result):
+        fsm = fig3_result.distributed.controller("TM1")
+        enc = binary_encoding(fsm)
+        assert 2 ** enc.width >= fsm.num_states
+        assert len(set(enc.codes.values())) == fsm.num_states
+
+    def test_one_hot(self):
+        enc = one_hot_encoding(toggle_fsm())
+        assert enc.width == 2
+        assert sorted(enc.codes.values()) == [1, 2]
+
+    def test_gray_adjacent_codes(self):
+        enc = gray_encoding(toggle_fsm())
+        codes = list(enc.codes.values())
+        assert bin(codes[0] ^ codes[1]).count("1") == 1
+
+    def test_unknown_style(self):
+        with pytest.raises(FSMError, match="unknown encoding style"):
+            encode(toggle_fsm(), "johnson")
+
+    def test_unknown_state_code(self):
+        enc = binary_encoding(toggle_fsm())
+        with pytest.raises(FSMError, match="no code"):
+            enc.code_of("missing")
+
+
+class TestFsmArea:
+    def test_report_columns(self):
+        report = fsm_area(toggle_fsm())
+        assert report.io_column() == "1/2"
+        assert report.num_states == 2
+        assert report.num_flip_flops == 1
+        assert report.method == "exact"
+        assert "/" in report.area_column()
+
+    def test_exact_toggle_area(self):
+        """Hand-checked: ns0 = A&go... with don't-cares the minimized
+        next-state function is go&!s; outputs tick=!s&go, tock=s."""
+        report = fsm_area(toggle_fsm())
+        # ns0: one 2-literal term; tick: one 2-literal term; tock: 1 literal.
+        assert report.combinational_area == pytest.approx(5.0)
+        assert report.sequential_area == pytest.approx(11.0)
+
+    def test_one_hot_uses_structural(self):
+        report = fsm_area(toggle_fsm(), "one-hot")
+        assert report.method == "structural"
+        assert report.num_flip_flops == 2
+
+    def test_structural_area_positive(self, fig3_result):
+        fsm = fig3_result.distributed.controller("TM1")
+        report = fsm_area(fsm, "one-hot")
+        assert report.combinational_area > 0
+
+    def test_logic_block_function_count(self):
+        block = fsm_logic_block(toggle_fsm())
+        # 1 next-state bit + 2 outputs.
+        assert len(block.functions) == 3
+
+    def test_latch_area(self):
+        comb, seq = latch_area(3)
+        assert seq == 33.0
+        assert comb > 0
+
+
+class TestOptimize:
+    def test_unreachable_removed(self):
+        fsm = toggle_fsm(extra_unreachable=True)
+        pruned = remove_unreachable_states(fsm)
+        assert pruned.num_states == 2
+        assert "Z" not in pruned.states
+        pruned.validate()
+
+    def test_reachable_untouched(self):
+        fsm = toggle_fsm()
+        assert remove_unreachable_states(fsm) is fsm
+
+    def test_prune_outputs(self):
+        fsm = toggle_fsm()
+        pruned = prune_outputs(fsm, ["tick"])
+        assert pruned.outputs == ("tick",)
+        assert all("tock" not in t.outputs for t in pruned.transitions)
+        pruned.validate()
+
+    def test_prune_keeps_metadata(self, fig3_result):
+        fsm = fig3_result.distributed.controller("TM1")
+        pruned = prune_outputs(fsm, [s for s in fsm.outputs][:2])
+        originals = {
+            (t.source, t.guard): (t.starts, t.completes)
+            for t in fsm.transitions
+        }
+        for t in pruned.transitions:
+            assert originals[(t.source, t.guard)] == (t.starts, t.completes)
+
+    def test_prune_unknown_output_rejected(self):
+        with pytest.raises(FSMError, match="undeclared"):
+            prune_outputs(toggle_fsm(), ["zap"])
+
+    def test_merge_equivalent_states(self):
+        # B and C are behaviourally identical.
+        fsm = FSM(
+            name="dup",
+            states=("A", "B", "C"),
+            initial="A",
+            inputs=("x",),
+            outputs=("o",),
+            transitions=(
+                make_transition("A", "B", {"x": True}),
+                make_transition("A", "C", {"x": False}),
+                make_transition("B", "A", {}, ("o",)),
+                make_transition("C", "A", {}, ("o",)),
+            ),
+        )
+        merged = merge_equivalent_states(fsm)
+        assert merged.num_states == 2
+        merged.validate()
+
+    def test_algorithm1_controllers_already_minimal(self, fig3_result):
+        for fsm in fig3_result.distributed.controllers.values():
+            assert merge_equivalent_states(fsm).num_states == fsm.num_states

@@ -1,0 +1,208 @@
+"""Unit tests for the FSM model."""
+
+import pytest
+
+from repro.errors import FSMError
+from repro.fsm.model import (
+    FSM,
+    Transition,
+    all_cube,
+    make_transition,
+    not_all_cubes,
+)
+
+
+def two_state_fsm() -> FSM:
+    return FSM(
+        name="toggle",
+        states=("A", "B"),
+        initial="A",
+        inputs=("go",),
+        outputs=("tick",),
+        transitions=(
+            make_transition("A", "B", {"go": True}, ("tick",)),
+            make_transition("A", "A", {"go": False}),
+            make_transition("B", "A", {}, ()),
+        ),
+    )
+
+
+class TestTransition:
+    def test_guard_sorted_and_deduped(self):
+        t = make_transition("A", "B", {"z": True, "a": False})
+        assert t.guard == (("a", False), ("z", True))
+
+    def test_duplicate_guard_signal_rejected(self):
+        with pytest.raises(FSMError, match="twice"):
+            Transition(
+                source="A",
+                target="B",
+                guard=(("x", True), ("x", False)),
+            )
+
+    def test_matches(self):
+        t = make_transition("A", "B", {"x": True, "y": False})
+        assert t.matches({"x": True, "y": False})
+        assert not t.matches({"x": True, "y": True})
+
+    def test_matches_requires_value(self):
+        t = make_transition("A", "B", {"x": True})
+        with pytest.raises(FSMError, match="missing"):
+            t.matches({})
+
+    def test_guard_str(self):
+        t = make_transition("A", "B", {"x": True, "y": False})
+        assert t.guard_str() == "x·y'"
+        assert make_transition("A", "B").guard_str() == "1"
+
+
+class TestFsmValidation:
+    def test_valid_fsm(self):
+        two_state_fsm().validate()
+
+    def test_unknown_initial(self):
+        with pytest.raises(FSMError, match="initial state"):
+            FSM(
+                name="bad",
+                states=("A",),
+                initial="Z",
+                inputs=(),
+                outputs=(),
+                transitions=(make_transition("A", "A"),),
+            )
+
+    def test_undeclared_input_in_guard(self):
+        with pytest.raises(FSMError, match="undeclared input"):
+            FSM(
+                name="bad",
+                states=("A",),
+                initial="A",
+                inputs=(),
+                outputs=(),
+                transitions=(make_transition("A", "A", {"x": True}),),
+            )
+
+    def test_undeclared_output(self):
+        with pytest.raises(FSMError, match="undeclared outputs"):
+            FSM(
+                name="bad",
+                states=("A",),
+                initial="A",
+                inputs=(),
+                outputs=(),
+                transitions=(make_transition("A", "A", {}, ("zap",)),),
+            )
+
+    def test_incomplete_state_detected(self):
+        fsm = FSM(
+            name="inc",
+            states=("A",),
+            initial="A",
+            inputs=("x",),
+            outputs=(),
+            transitions=(make_transition("A", "A", {"x": True}),),
+        )
+        with pytest.raises(FSMError, match="incomplete"):
+            fsm.validate()
+
+    def test_nondeterminism_detected(self):
+        fsm = FSM(
+            name="nd",
+            states=("A",),
+            initial="A",
+            inputs=("x",),
+            outputs=(),
+            transitions=(
+                make_transition("A", "A", {"x": True}),
+                make_transition("A", "A", {}),
+            ),
+        )
+        with pytest.raises(FSMError, match="nondeterministic"):
+            fsm.validate()
+
+    def test_stateless_state_detected(self):
+        fsm = FSM(
+            name="dead",
+            states=("A", "B"),
+            initial="A",
+            inputs=(),
+            outputs=(),
+            transitions=(make_transition("A", "B"),),
+        )
+        with pytest.raises(FSMError, match="no transitions"):
+            fsm.validate()
+
+
+class TestFsmExecution:
+    def test_step_selects_unique_transition(self):
+        fsm = two_state_fsm()
+        t = fsm.step("A", {"go": True})
+        assert t.target == "B"
+        assert t.outputs == {"tick"}
+
+    def test_step_unmatched_raises(self):
+        fsm = FSM(
+            name="x",
+            states=("A",),
+            initial="A",
+            inputs=("g",),
+            outputs=(),
+            transitions=(make_transition("A", "A", {"g": True}),),
+        )
+        with pytest.raises(FSMError, match="no transition"):
+            fsm.step("A", {"g": False})
+
+    def test_referenced_inputs(self):
+        fsm = two_state_fsm()
+        assert fsm.referenced_inputs("A") == ("go",)
+        assert fsm.referenced_inputs("B") == ()
+
+
+class TestHelpers:
+    def test_not_all_cubes_cover_complement(self):
+        import itertools
+
+        signals = ("a", "b", "c")
+        cubes = not_all_cubes(signals)
+        for values in itertools.product((False, True), repeat=3):
+            valuation = dict(zip(signals, values))
+            matches = sum(
+                all(valuation[k] == v for k, v in cube.items())
+                for cube in cubes
+            )
+            if all(values):
+                assert matches == 0
+            else:
+                assert matches == 1  # disjoint cover of the complement
+
+    def test_all_cube(self):
+        assert all_cube(("x", "y")) == {"x": True, "y": True}
+
+
+class TestReporting:
+    def test_logical_transitions_group_cubes(self):
+        fsm = FSM(
+            name="g",
+            states=("A", "B"),
+            initial="A",
+            inputs=("x", "y"),
+            outputs=(),
+            transitions=(
+                make_transition("A", "B", {"x": False}),
+                make_transition("A", "B", {"x": True, "y": False}),
+                make_transition("A", "A", {"x": True, "y": True}),
+                make_transition("B", "A"),
+            ),
+        )
+        groups = fsm.logical_transitions()
+        ab = [g for g in groups if g[0] == "A" and g[1] == "B"]
+        assert len(ab) == 1
+        assert len(ab[0][3]) == 2  # two cubes merged into one logical edge
+
+    def test_to_dot(self):
+        dot = two_state_fsm().to_dot()
+        assert "doublecircle" in dot  # initial state highlighted
+        assert '"A" -> "B"' in dot
+
+    def test_describe(self):
+        assert "2 states" in two_state_fsm().describe()

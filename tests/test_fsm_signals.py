@@ -1,0 +1,43 @@
+"""Unit tests for signal naming conventions."""
+
+import pytest
+
+from repro.fsm.signals import (
+    is_op_completion,
+    is_unit_completion,
+    op_completion,
+    op_of_completion,
+    operand_fetch,
+    register_enable,
+    state_exec,
+    state_extend,
+    state_ready,
+    unit_completion,
+    unit_of_completion,
+)
+
+
+class TestNaming:
+    def test_round_trips(self):
+        assert op_of_completion(op_completion("o3")) == "o3"
+        assert unit_of_completion(unit_completion("TM1")) == "TM1"
+
+    def test_classification_disjoint(self):
+        assert is_op_completion(op_completion("o1"))
+        assert not is_unit_completion(op_completion("o1"))
+        assert is_unit_completion(unit_completion("TM1"))
+        assert not is_op_completion(unit_completion("TM1"))
+
+    def test_of_re_not_completions(self):
+        assert not is_op_completion(operand_fetch("o1"))
+        assert not is_unit_completion(register_enable("o1"))
+
+    def test_wrong_kind_raises(self):
+        with pytest.raises(ValueError):
+            op_of_completion("OF_o1")
+        with pytest.raises(ValueError):
+            unit_of_completion("CC_o1")
+
+    def test_state_names_distinct(self):
+        names = {state_exec("o1"), state_extend("o1"), state_ready("o1")}
+        assert len(names) == 3

@@ -1,0 +1,127 @@
+"""Unit tests for the synchronized centralized TAUBM FSM (Fig. 2(c)/4(b))."""
+
+import pytest
+
+from repro.fsm.model import FSM
+from repro.fsm.signals import operand_fetch, register_enable, unit_completion
+from repro.fsm.taubm import derive_cent_sync_fsm
+
+
+@pytest.fixture()
+def sync_fsm(fig2_result) -> FSM:
+    return fig2_result.cent_sync_fsm
+
+
+class TestStructure:
+    def test_states_match_fig2c(self, fig2_result, sync_fsm):
+        """Fig. 2(c): one state per step plus one per TAU step."""
+        taubm = fig2_result.taubm
+        expected = len(taubm.steps) + sum(
+            s.has_extension for s in taubm.steps
+        )
+        assert sync_fsm.num_states == expected == 6
+
+    def test_initial_is_first_step(self, sync_fsm):
+        assert sync_fsm.initial == "T0"
+
+    def test_inputs_are_unit_completions(self, fig2_result, sync_fsm):
+        tau_units = {
+            unit_completion(u.name)
+            for u in fig2_result.allocation.telescopic_units()
+        }
+        assert set(sync_fsm.inputs) <= tau_units
+
+    def test_guard_is_conjunction_of_all_step_units(
+        self, fig2_result, sync_fsm
+    ):
+        """Fig. 4(b): the completing guard ANDs every TAU in the step."""
+        taubm = fig2_result.taubm
+        bound = fig2_result.bound
+        for step in taubm.steps:
+            if not step.has_extension:
+                continue
+            completing = [
+                t
+                for t in sync_fsm.transitions_from(f"T{step.index}")
+                if t.target != f"TX{step.index}"
+            ]
+            assert len(completing) == 1
+            guard = dict(completing[0].guard)
+            for op in step.tau_ops:
+                assert guard[unit_completion(bound.unit_of(op).name)]
+
+    def test_extension_transition_unconditional(self, sync_fsm):
+        for state in sync_fsm.states:
+            if state.startswith("TX"):
+                [t] = sync_fsm.transitions_from(state)
+                assert t.guard == ()
+
+    def test_register_enable_at_step_end_only(self, fig2_result, sync_fsm):
+        taubm = fig2_result.taubm
+        for step in taubm.steps:
+            if not step.has_extension:
+                continue
+            to_extension = [
+                t
+                for t in sync_fsm.transitions_from(f"T{step.index}")
+                if t.target == f"TX{step.index}"
+            ]
+            for t in to_extension:
+                for op in step.ops:
+                    assert operand_fetch(op) in t.outputs
+                    assert register_enable(op) not in t.outputs
+
+    def test_validates(self, sync_fsm):
+        sync_fsm.validate()
+
+
+class TestSemantics:
+    def test_synchronization_penalty(self, fig3_result):
+        """A fast op in a step with a slow sibling still waits (the §2.3
+        lost-concurrency problem, observable in the FSM semantics)."""
+        fsm = fig3_result.cent_sync_fsm
+        taubm = fig3_result.taubm
+        step = next(s for s in taubm.steps if len(s.tau_ops) >= 2)
+        bound = fig3_result.bound
+        units = [bound.unit_of(op).name for op in step.tau_ops]
+        state = f"T{step.index}"
+        # One unit fast, the other slow: must take the extension.
+        inputs = {unit_completion(u): False for u in units}
+        inputs[unit_completion(units[0])] = True
+        for signal in fsm.inputs:
+            inputs.setdefault(signal, False)
+        t = fsm.step(state, inputs)
+        assert t.target == f"TX{step.index}"
+
+    def test_no_extension_without_taus(self, fig2_result):
+        fsm = fig2_result.cent_sync_fsm
+        taubm = fig2_result.taubm
+        plain = [s for s in taubm.steps if not s.has_extension]
+        assert plain
+        for step in plain:
+            [t] = fsm.transitions_from(f"T{step.index}")
+            assert t.guard == ()
+            assert set(step.ops) <= t.completes
+
+
+class TestErrors:
+    def test_shared_unit_in_step_rejected(self, fig3_result):
+        """Two TAU ops of one step on the same unit is infeasible."""
+        from repro.scheduling.schedule import TaubmSchedule, TaubmStep
+        from repro.errors import FSMError
+
+        bound = fig3_result.bound
+        tau_ops = bound.telescopic_ops()
+        same_unit = [
+            op
+            for op in tau_ops
+            if bound.unit_of(op).name == bound.unit_of(tau_ops[0]).name
+        ]
+        if len(same_unit) < 2:
+            pytest.skip("no two ops share a unit")
+        step = TaubmStep(
+            index=0, ops=tuple(same_unit[:2]), tau_ops=tuple(same_unit[:2])
+        )
+        broken = TaubmSchedule(base=fig3_result.schedule, steps=(step,))
+        with pytest.raises(FSMError, match="share unit"):
+            derive_cent_sync_fsm(broken, bound)

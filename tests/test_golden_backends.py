@@ -1,0 +1,68 @@
+"""Golden-file regression tests for the text backends.
+
+The Verilog and DOT writers are deterministic; these tests pin their
+output for a fixed design (the Fig. 2 example's first TAU controller) so
+any change to emission — intentional or not — shows up as a readable
+diff.  To regenerate after an intentional change::
+
+    python -c "
+    from repro.api import synthesize
+    from repro.benchmarks import paper_fig2_dfg
+    from repro.fsm.verilog import fsm_to_verilog
+    from repro.core.dot import dfg_to_dot
+    r = synthesize(paper_fig2_dfg(), 'mul:2T,add:1')
+    fsm = r.distributed.controller('TM1')
+    open('tests/golden/fig2_tm1_controller.v','w').write(fsm_to_verilog(fsm))
+    open('tests/golden/fig2_tm1_controller.dot','w').write(fsm.to_dot())
+    open('tests/golden/fig2_dfg.dot','w').write(dfg_to_dot(
+        r.dfg, schedule_arcs=r.order.schedule_arcs, binding=r.bound.binding))
+    "
+"""
+
+from pathlib import Path
+
+import pytest
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def fig2_artifacts():
+    from repro.api import synthesize
+    from repro.benchmarks import paper_fig2_dfg
+    from repro.core.dot import dfg_to_dot
+    from repro.fsm.verilog import fsm_to_verilog
+
+    result = synthesize(paper_fig2_dfg(), "mul:2T,add:1")
+    fsm = result.distributed.controller("TM1")
+    return {
+        "fig2_tm1_controller.v": fsm_to_verilog(fsm),
+        "fig2_tm1_controller.dot": fsm.to_dot(),
+        "fig2_dfg.dot": dfg_to_dot(
+            result.dfg,
+            schedule_arcs=result.order.schedule_arcs,
+            binding=result.bound.binding,
+        ),
+    }
+
+
+@pytest.mark.parametrize(
+    "filename",
+    [
+        "fig2_tm1_controller.v",
+        "fig2_tm1_controller.dot",
+        "fig2_dfg.dot",
+    ],
+)
+def test_backend_output_matches_golden(fig2_artifacts, filename):
+    expected = (GOLDEN / filename).read_text()
+    actual = fig2_artifacts[filename]
+    assert actual == expected, (
+        f"{filename} changed; regenerate the golden file if intentional "
+        f"(see this module's docstring)"
+    )
+
+
+def test_golden_files_nonempty():
+    for path in GOLDEN.iterdir():
+        assert path.read_text().strip(), path

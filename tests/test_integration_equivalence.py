@@ -1,0 +1,115 @@
+"""Integration tests: the library's central equivalence claims.
+
+These are the load-bearing checks of the reproduction (DESIGN.md §6):
+
+1. the cycle-accurate FSM simulator agrees with the analytic longest-path
+   model on *every* fast/slow assignment,
+2. CENT-FSM (the product machine) is cycle-for-cycle equivalent to the
+   distributed control unit,
+3. CENT-SYNC agrees with the synchronized step model,
+4. every controller style computes bit-identical datapath results,
+5. DIST dominates CENT-SYNC on every assignment (never slower).
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.latency import (
+    DistLatencyEvaluator,
+    sync_latency_cycles,
+)
+from repro.sim.runner import simulate_assignment
+
+
+def _assignments(tau_ops):
+    for values in itertools.product((False, True), repeat=len(tau_ops)):
+        yield dict(zip(tau_ops, values))
+
+
+@pytest.fixture(
+    scope="module", params=["fig2", "fig3", "diffeq"]
+)
+def design(request):
+    from repro.experiments import synthesize_benchmark
+
+    return synthesize_benchmark(request.param)
+
+
+class TestSimulatorVsAnalytic:
+    def test_distributed_matches_longest_path_exhaustively(self, design):
+        evaluator = DistLatencyEvaluator(design.bound)
+        system = design.distributed_system()
+        for fast in _assignments(design.bound.telescopic_ops()):
+            sim = simulate_assignment(system, design.bound, fast)
+            assert sim.cycles == evaluator(fast), fast
+
+    def test_sync_matches_step_model_exhaustively(self, design):
+        system = design.cent_sync_system()
+        for fast in _assignments(design.bound.telescopic_ops()):
+            sim = simulate_assignment(system, design.bound, fast)
+            assert sim.cycles == sync_latency_cycles(design.taubm, fast)
+
+
+class TestCentEqualsDist:
+    def test_cycle_for_cycle_equivalence(self, design):
+        cent = design.cent_system()
+        dist = design.distributed_system()
+        for fast in _assignments(design.bound.telescopic_ops()):
+            cent_sim = simulate_assignment(cent, design.bound, fast)
+            dist_sim = simulate_assignment(dist, design.bound, fast)
+            assert cent_sim.cycles == dist_sim.cycles, fast
+            assert cent_sim.finish_cycles == dist_sim.finish_cycles, fast
+
+
+class TestDominance:
+    def test_dist_never_slower_than_sync(self, design):
+        evaluator = DistLatencyEvaluator(design.bound)
+        for fast in _assignments(design.bound.telescopic_ops()):
+            assert evaluator(fast) <= sync_latency_cycles(
+                design.taubm, fast
+            ), fast
+
+
+class TestFunctionalEquivalence:
+    def test_all_styles_compute_reference_values(self, design):
+        inputs = {
+            name: 2 * i + 3 for i, name in enumerate(design.dfg.inputs)
+        }
+        reference = design.dfg.evaluate(inputs)
+        outputs = set(design.dfg.outputs)
+        systems = [
+            design.distributed_system(),
+            design.cent_sync_system(),
+            design.cent_system(),
+        ]
+        tau_ops = design.bound.telescopic_ops()
+        # Mixed assignment: alternate fast/slow.
+        fast = {op: bool(i % 2) for i, op in enumerate(tau_ops)}
+        for system in systems:
+            sim = simulate_assignment(
+                system, design.bound, fast, inputs=inputs
+            )
+            for out_name in outputs:
+                assert (
+                    sim.datapath.output_values()[out_name]
+                    == reference[out_name]
+                )
+
+
+class TestUnitOccupancy:
+    def test_one_op_per_unit_per_cycle(self, design):
+        """Unit exclusivity: execution intervals on a unit never overlap."""
+        system = design.distributed_system()
+        for fast in _assignments(design.bound.telescopic_ops()):
+            sim = simulate_assignment(system, design.bound, fast)
+            by_unit: dict[str, list[tuple[int, int]]] = {}
+            for op in design.dfg.op_names():
+                unit = design.bound.binding[op]
+                by_unit.setdefault(unit, []).append(
+                    (sim.start_cycles[op], sim.finish_cycles[op])
+                )
+            for intervals in by_unit.values():
+                intervals.sort()
+                for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                    assert f1 <= s2, (intervals, fast)

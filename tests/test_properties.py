@@ -1,0 +1,206 @@
+"""Property-based tests over random DFGs: the full flow's invariants.
+
+Each property synthesizes a random small DFG end-to-end and checks the
+reproduction's core guarantees on it.  These are the tests most likely to
+find interaction bugs between the scheduler, the binder, Algorithm 1 and
+the simulator.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.latency import (
+    DistLatencyEvaluator,
+    sync_latency_cycles,
+)
+from repro.api import synthesize
+from repro.resources.allocation import ResourceAllocation
+from repro.sim.runner import simulate_assignment
+
+from conftest import random_dfgs
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+allocations = st.sampled_from(
+    ["mul:1T,add:1,sub:1", "mul:2T,add:1,sub:1", "mul:2T,add:2,sub:1"]
+)
+
+
+def _random_assignment(result, seed: int) -> dict[str, bool]:
+    rng = random.Random(seed)
+    return {
+        op: rng.random() < 0.5 for op in result.bound.telescopic_ops()
+    }
+
+
+@SETTINGS
+@given(random_dfgs, allocations, st.integers(0, 1000))
+def test_simulator_matches_analytic_model(dfg, spec, seed):
+    """Cycle-accurate distributed simulation == weighted longest path."""
+    result = synthesize(dfg, spec)
+    fast = _random_assignment(result, seed)
+    sim = simulate_assignment(
+        result.distributed_system(), result.bound, fast
+    )
+    assert sim.cycles == DistLatencyEvaluator(result.bound)(fast)
+
+
+@SETTINGS
+@given(random_dfgs, allocations, st.integers(0, 1000))
+def test_dist_dominates_sync(dfg, spec, seed):
+    """DIST latency <= CENT-SYNC latency on every sampled assignment."""
+    result = synthesize(dfg, spec)
+    fast = _random_assignment(result, seed)
+    dist = DistLatencyEvaluator(result.bound)(fast)
+    sync = sync_latency_cycles(result.taubm, fast)
+    assert dist <= sync
+
+
+@SETTINGS
+@given(random_dfgs, allocations)
+def test_latency_bounds(dfg, spec):
+    """best = all-fast <= all-slow = worst, and worst <= best + #TAU ops."""
+    result = synthesize(dfg, spec)
+    evaluator = DistLatencyEvaluator(result.bound)
+    tau_ops = result.bound.telescopic_ops()
+    best = evaluator({op: True for op in tau_ops})
+    worst = evaluator({op: False for op in tau_ops})
+    assert best <= worst <= best + len(tau_ops)
+
+
+@SETTINGS
+@given(random_dfgs, allocations, st.integers(0, 1000))
+def test_functional_correctness_under_random_control(dfg, spec, seed):
+    """Any controller schedule computes the reference dataflow values."""
+    result = synthesize(dfg, spec)
+    fast = _random_assignment(result, seed)
+    inputs = {name: (seed % 7) + i for i, name in enumerate(dfg.inputs)}
+    sim = simulate_assignment(
+        result.distributed_system(), result.bound, fast, inputs=inputs
+    )
+    reference = dfg.evaluate(inputs)
+    assert sim.datapath.output_values()["y"] == reference["y"]
+
+
+@SETTINGS
+@given(random_dfgs, allocations)
+def test_controllers_validate_and_cover_all_ops(dfg, spec):
+    """Every generated FSM is deterministic/complete; ops covered once."""
+    result = synthesize(dfg, spec)
+    covered = []
+    for fsm in result.distributed.controllers.values():
+        fsm.validate()
+        unit_ops = set()
+        for t in fsm.transitions:
+            unit_ops |= t.completes
+        covered.extend(unit_ops)
+    assert sorted(covered) == sorted(dfg.op_names())
+
+
+@SETTINGS
+@given(random_dfgs, allocations)
+def test_sync_monotone_in_p(dfg, spec):
+    """Expected synchronized latency is non-increasing in P."""
+    result = synthesize(dfg, spec)
+    values = [result.taubm.expected_cycles(p) for p in (0.1, 0.5, 0.9)]
+    assert values == sorted(values, reverse=True)
+
+
+@SETTINGS
+@given(random_dfgs, allocations, st.integers(0, 500))
+def test_slowing_one_op_never_helps(dfg, spec, seed):
+    """Latency is monotone: flipping any op fast->slow cannot reduce it."""
+    result = synthesize(dfg, spec)
+    evaluator = DistLatencyEvaluator(result.bound)
+    fast = _random_assignment(result, seed)
+    base = evaluator(fast)
+    for op in result.bound.telescopic_ops():
+        if fast.get(op, True):
+            slower = dict(fast)
+            slower[op] = False
+            assert evaluator(slower) >= base
+
+
+@SETTINGS
+@given(random_dfgs, st.integers(0, 2000))
+def test_multilevel_simulator_matches_analytic(dfg, seed):
+    """Multi-level property: simulator == longest path under random
+    3-level assignments."""
+    from repro.core.ops import ResourceClass
+    from repro.resources import LevelAssignmentCompletion, ResourceAllocation
+    from repro.sim import simulate
+
+    allocation = ResourceAllocation.build(
+        {
+            ResourceClass.MULTIPLIER: 1,
+            ResourceClass.ADDER: 1,
+            ResourceClass.SUBTRACTOR: 1,
+        },
+        level_delays_ns=(15.0, 30.0, 45.0),
+        fixed_delay_ns=15.0,
+    )
+    result = synthesize(dfg, allocation)
+    rng = random.Random(seed)
+    levels = {
+        op: rng.randrange(3) for op in result.bound.telescopic_ops()
+    }
+    durations = {
+        op: result.bound.duration_for_level(op, level)
+        for op, level in levels.items()
+    }
+    sim = simulate(
+        result.distributed_system(),
+        result.bound,
+        LevelAssignmentCompletion(levels),
+    )
+    evaluator = DistLatencyEvaluator(result.bound)
+    assert sim.cycles == evaluator.for_durations(durations)
+
+
+@SETTINGS
+@given(random_dfgs, allocations)
+def test_design_serialization_round_trip(dfg, spec):
+    """Property: serialized controllers replay identical simulations."""
+    from repro.resources import AllSlowCompletion
+    from repro.serialize import fsm_from_dict, fsm_to_dict
+    from repro.sim import simulate, system_from_bound
+
+    result = synthesize(dfg, spec)
+    clones = {
+        unit: fsm_from_dict(fsm_to_dict(fsm))
+        for unit, fsm in result.distributed.controllers.items()
+    }
+    original = simulate(
+        result.distributed_system(), result.bound, AllSlowCompletion()
+    )
+    restored = simulate(
+        system_from_bound(result.bound, clones),
+        result.bound,
+        AllSlowCompletion(),
+    )
+    assert restored.finish_cycles == original.finish_cycles
+
+
+@SETTINGS
+@given(random_dfgs, allocations)
+def test_throughput_bound_is_lower_bound(dfg, spec):
+    """Property: simulated pipelined throughput never beats λ*."""
+    from repro.analysis import pipelined_throughput_bound
+    from repro.resources import AllFastCompletion
+    from repro.sim import pipelined_throughput
+
+    result = synthesize(dfg, spec)
+    bound = pipelined_throughput_bound(result.bound, fast=True)
+    __, throughput = pipelined_throughput(
+        result.distributed_system(),
+        result.bound,
+        AllFastCompletion(),
+        iterations=6,
+    )
+    assert throughput >= float(bound.cycles_per_iteration) - 1e-9

@@ -1,0 +1,116 @@
+"""Unit tests for resource allocations."""
+
+import pytest
+
+from repro.benchmarks import differential_equation
+from repro.core.ops import ResourceClass
+from repro.errors import AllocationError
+from repro.resources.allocation import ResourceAllocation
+from repro.resources.units import TelescopicUnit
+
+
+class TestParse:
+    def test_paper_allocation(self):
+        alloc = ResourceAllocation.parse("mul:2T,add:1,sub:1")
+        assert alloc.count(ResourceClass.MULTIPLIER) == 2
+        assert alloc.count(ResourceClass.ADDER) == 1
+        assert alloc.count(ResourceClass.SUBTRACTOR) == 1
+        assert len(alloc.telescopic_units()) == 2
+
+    def test_unit_names(self):
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        assert [u.name for u in alloc] == ["TM1", "TM2", "A1"]
+
+    def test_non_telescopic_multipliers(self):
+        alloc = ResourceAllocation.parse("mul:2,add:1")
+        assert not alloc.telescopic_units()
+        assert [u.name for u in alloc] == ["M1", "M2", "A1"]
+
+    def test_bad_token(self):
+        with pytest.raises(AllocationError, match="bad allocation token"):
+            ResourceAllocation.parse("mul=2")
+
+    def test_zero_count(self):
+        with pytest.raises(AllocationError, match=">= 1"):
+            ResourceAllocation.parse("mul:0T")
+
+    def test_custom_timing(self):
+        alloc = ResourceAllocation.parse(
+            "mul:1T", short_delay_ns=10.0, long_delay_ns=18.0
+        )
+        tau = alloc.telescopic_units()[0]
+        assert tau.short_delay_ns == 10.0
+        assert tau.long_delay_ns == 18.0
+
+
+class TestClocks:
+    def test_clock_is_short_delay(self):
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        assert alloc.clock_period_ns() == 15.0
+
+    def test_original_clock_is_worst_delay(self):
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        assert alloc.original_clock_period_ns() == 20.0
+
+    def test_slow_fixed_unit_stretches_clock(self):
+        alloc = ResourceAllocation.parse("mul:1T,add:1", fixed_delay_ns=18.0)
+        assert alloc.clock_period_ns() == 18.0
+
+    def test_cycles_for(self):
+        alloc = ResourceAllocation.parse("mul:1T,add:1")
+        assert alloc.cycles_for("TM1", fast=True) == 1
+        assert alloc.cycles_for("TM1", fast=False) == 2
+        assert alloc.cycles_for("A1", fast=True) == 1
+
+    def test_two_level_validation_passes(self):
+        ResourceAllocation.parse("mul:1T,add:1").validate_two_level()
+
+    def test_two_level_validation_fails_on_deep_tau(self):
+        alloc = ResourceAllocation.parse(
+            "mul:1T", short_delay_ns=10.0, long_delay_ns=25.0
+        )
+        with pytest.raises(AllocationError, match="two-level"):
+            alloc.validate_two_level()
+
+
+class TestValidation:
+    def test_unknown_unit(self):
+        alloc = ResourceAllocation.parse("mul:1T")
+        with pytest.raises(AllocationError, match="no unit named"):
+            alloc.unit("A9")
+
+    def test_duplicate_names_rejected(self):
+        unit = TelescopicUnit("X", ResourceClass.MULTIPLIER)
+        with pytest.raises(AllocationError, match="duplicate"):
+            ResourceAllocation(units=(unit, unit))
+
+    def test_validate_for_covers_graph(self):
+        dfg = differential_equation()
+        ResourceAllocation.parse("mul:2T,add:1,sub:1").validate_for(dfg)
+
+    def test_validate_for_missing_class(self):
+        dfg = differential_equation()
+        with pytest.raises(AllocationError, match="provides none"):
+            ResourceAllocation.parse("mul:2T,add:1").validate_for(dfg)
+
+    def test_empty_allocation_rejected(self):
+        with pytest.raises(AllocationError, match="no units"):
+            ResourceAllocation(units=())
+
+
+class TestBuildAndDefaults:
+    def test_paper_default(self):
+        alloc = ResourceAllocation.paper_default(
+            multipliers=3, adders=2, subtractors=1
+        )
+        assert alloc.count(ResourceClass.MULTIPLIER) == 3
+        assert alloc.count(ResourceClass.ADDER) == 2
+        assert alloc.count(ResourceClass.SUBTRACTOR) == 1
+        assert all(
+            u.is_telescopic
+            for u in alloc.units_of_class(ResourceClass.MULTIPLIER)
+        )
+
+    def test_describe(self):
+        text = ResourceAllocation.parse("mul:1T,add:1").describe()
+        assert "TM1" in text and "A1" in text and "15" in text

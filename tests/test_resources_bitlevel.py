@@ -1,0 +1,111 @@
+"""Unit tests for the bit-level adder/multiplier delay models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.resources.bitlevel import (
+    ArrayMultiplier,
+    RippleCarryAdder,
+    carry_chain_length,
+)
+
+
+class TestCarryChain:
+    def test_no_carry(self):
+        assert carry_chain_length(0b0101, 0b1010, 4) == 0
+
+    def test_single_generate(self):
+        assert carry_chain_length(0b0001, 0b0001, 4) == 1
+
+    def test_full_ripple(self):
+        # 1 + 0b1111: carry generated at bit 0 ripples through all bits.
+        assert carry_chain_length(0b0001, 0b1111, 4) == 4
+
+    def test_kill_stops_chain(self):
+        # generate at bit0, propagate at bit1, kill at bit2.
+        assert carry_chain_length(0b0011, 0b0001, 4) == 2
+
+    def test_all_generates_no_propagation(self):
+        assert carry_chain_length(0b1111, 0b1111, 4) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(LogicError, match="unsigned"):
+            carry_chain_length(-1, 0, 4)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_bounds(self, a, b):
+        chain = carry_chain_length(a, b, 8)
+        assert 0 <= chain <= 8
+
+
+class TestRippleCarryAdder:
+    def test_functional_result_truncates(self):
+        adder = RippleCarryAdder(width=8)
+        assert adder.result(200, 100) == (300) & 0xFF
+
+    def test_delay_monotone_in_chain(self):
+        adder = RippleCarryAdder(width=8)
+        assert adder.delay_ns(1, 1) < adder.delay_ns(1, 255)
+
+    def test_worst_delay_is_upper_bound(self):
+        adder = RippleCarryAdder(width=6)
+        worst = adder.worst_delay_ns
+        for a in range(0, 64, 7):
+            for b in range(0, 64, 5):
+                assert adder.delay_ns(a, b) <= worst + 1e-9
+
+    def test_bad_width(self):
+        with pytest.raises(LogicError, match="width"):
+            RippleCarryAdder(width=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_gate_level_agrees_functionally(self, a, b):
+        adder = RippleCarryAdder(width=6)
+        # gate_level_settle_ns raises internally on functional mismatch.
+        adder.gate_level_settle_ns(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_gate_level_correlates_with_chain(self, a, b):
+        """Longer excited chains never settle faster at the gate level."""
+        adder = RippleCarryAdder(width=8)
+        settle = adder.gate_level_settle_ns(a, b)
+        chain = carry_chain_length(a, b, 8)
+        # Settle time is bounded by the analytic model's chain term plus
+        # the sum/setup overhead.
+        assert settle <= adder.delay_ns(a, b) + 2 * adder.gate_delay_ns
+
+
+class TestArrayMultiplier:
+    def test_functional_result(self):
+        mult = ArrayMultiplier(width=8)
+        assert mult.result(13, 11) == 143
+
+    def test_zero_operand_is_fast(self):
+        mult = ArrayMultiplier(width=8)
+        assert mult.delay_ns(0, 200) == mult.base_delay_ns
+        assert mult.delay_ns(200, 0) == mult.base_delay_ns
+
+    def test_delay_monotone_in_rows(self):
+        mult = ArrayMultiplier(width=8)
+        assert mult.delay_ns(255, 1) < mult.delay_ns(255, 255)
+
+    def test_active_rows(self):
+        mult = ArrayMultiplier(width=8)
+        assert mult.active_rows(0b0001) == 1
+        assert mult.active_rows(0b1000) == 4
+        assert mult.active_rows(0) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_worst_delay_bounds_everything(self, a, b):
+        mult = ArrayMultiplier(width=8)
+        assert mult.delay_ns(a, b) <= mult.worst_delay_ns + 1e-9
+
+    def test_bad_width(self):
+        with pytest.raises(LogicError, match="width"):
+            ArrayMultiplier(width=0)

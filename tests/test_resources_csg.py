@@ -1,0 +1,121 @@
+"""Unit tests for completion-signal-generator synthesis and verification."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.resources.bitlevel import ArrayMultiplier, RippleCarryAdder
+from repro.resources.csg import (
+    AdderCSG,
+    measure_fast_fraction,
+    small_value_distribution,
+    sparse_distribution,
+    synthesize_adder_csg,
+    synthesize_multiplier_csg,
+    uniform_distribution,
+    verify_csg_safety,
+)
+
+
+class TestAdderCsg:
+    def test_synthesized_csg_is_safe_exhaustively(self):
+        adder = RippleCarryAdder(width=7)
+        sd = adder.base_delay_ns + 2.0 * adder.gate_delay_ns * 3
+        csg = synthesize_adder_csg(adder, sd)
+        assert csg.max_chain == 3
+        checked = verify_csg_safety(csg, adder.delay_ns, csg.short_delay_ns, 7)
+        assert checked == (1 << 7) ** 2
+
+    def test_unsafe_csg_detected(self):
+        adder = RippleCarryAdder(width=6)
+        # Deliberately over-permissive chain bound for a tight SD.
+        bogus = AdderCSG(adder=adder, max_chain=6)
+        tight_sd = adder.base_delay_ns + 2.0 * adder.gate_delay_ns
+        with pytest.raises(LogicError, match="unsafe CSG"):
+            verify_csg_safety(bogus, adder.delay_ns, tight_sd, 6)
+
+    def test_sd_below_base_rejected(self):
+        adder = RippleCarryAdder(width=6)
+        with pytest.raises(LogicError, match="below the adder"):
+            synthesize_adder_csg(adder, 0.1)
+
+    def test_coverage_improves_with_sd(self):
+        adder = RippleCarryAdder(width=8)
+        loose = synthesize_adder_csg(
+            adder, adder.base_delay_ns + 2 * adder.gate_delay_ns * 6
+        )
+        tight = synthesize_adder_csg(
+            adder, adder.base_delay_ns + 2 * adder.gate_delay_ns * 2
+        )
+        dist = uniform_distribution(8)
+        assert measure_fast_fraction(
+            loose, dist, samples=2000
+        ) >= measure_fast_fraction(tight, dist, samples=2000)
+
+
+class TestMultiplierCsg:
+    def test_synthesized_csg_is_safe(self):
+        mult = ArrayMultiplier(width=6)
+        sd = mult.base_delay_ns + 0.5 * (
+            mult.worst_delay_ns - mult.base_delay_ns
+        )
+        csg = synthesize_multiplier_csg(mult, sd)
+        verify_csg_safety(csg, mult.delay_ns, csg.short_delay_ns, 6)
+
+    def test_zero_operands_always_fast(self):
+        mult = ArrayMultiplier(width=6)
+        csg = synthesize_multiplier_csg(mult, mult.base_delay_ns + 0.1)
+        assert csg.is_fast(0, 63)
+        assert csg.is_fast(63, 0)
+
+    def test_sd_below_base_rejected(self):
+        mult = ArrayMultiplier(width=6)
+        with pytest.raises(LogicError, match="below the multiplier"):
+            synthesize_multiplier_csg(mult, 0.1)
+
+    def test_guaranteed_sd_within_target(self):
+        mult = ArrayMultiplier(width=8)
+        target = mult.base_delay_ns + 0.6 * (
+            mult.worst_delay_ns - mult.base_delay_ns
+        )
+        csg = synthesize_multiplier_csg(mult, target)
+        assert csg.short_delay_ns <= target + 1e-9
+
+
+class TestDistributions:
+    def test_small_values_raise_p(self):
+        mult = ArrayMultiplier(width=8)
+        sd = mult.base_delay_ns + 0.6 * (
+            mult.worst_delay_ns - mult.base_delay_ns
+        )
+        csg = synthesize_multiplier_csg(mult, sd)
+        p_uniform = measure_fast_fraction(
+            csg, uniform_distribution(8), samples=3000
+        )
+        p_small = measure_fast_fraction(
+            csg, small_value_distribution(8, 4), samples=3000
+        )
+        assert p_small >= p_uniform
+
+    def test_sparse_operands_fast_for_adder(self):
+        adder = RippleCarryAdder(width=8)
+        csg = synthesize_adder_csg(
+            adder, adder.base_delay_ns + 2 * adder.gate_delay_ns * 3
+        )
+        p_sparse = measure_fast_fraction(
+            csg, sparse_distribution(8, 1), samples=2000
+        )
+        assert p_sparse > 0.9
+
+    def test_distribution_names(self):
+        assert uniform_distribution(8).name == "uniform"
+        assert small_value_distribution(8, 4).name == "small4"
+        assert sparse_distribution(8, 2).name == "sparse2"
+
+    def test_sampling_honours_width(self):
+        import random
+
+        dist = uniform_distribution(6)
+        rng = random.Random(0)
+        for _ in range(100):
+            a, b = dist.sample(rng)
+            assert 0 <= a < 64 and 0 <= b < 64

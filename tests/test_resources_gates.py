@@ -1,0 +1,119 @@
+"""Unit tests for the gate-level netlist and event-driven simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.resources.gates import Netlist, bus_values, read_bus
+
+
+def make_xor_chain(length: int) -> Netlist:
+    nl = Netlist("xors")
+    nl.add_input("a")
+    prev = "a"
+    for i in range(length):
+        nl.add_input(f"b{i}")
+        prev = nl.add_gate("XOR", [prev, f"b{i}"], f"x{i}", delay_ns=1.0)
+    nl.mark_output(prev)
+    return nl
+
+
+class TestConstruction:
+    def test_duplicate_net_rejected(self):
+        nl = Netlist("n")
+        nl.add_input("a")
+        with pytest.raises(LogicError, match="already exists"):
+            nl.add_input("a")
+
+    def test_gate_output_collision(self):
+        nl = Netlist("n")
+        nl.add_input("a")
+        nl.add_gate("NOT", ["a"], "b")
+        with pytest.raises(LogicError, match="already driven"):
+            nl.add_gate("NOT", ["a"], "b")
+
+    def test_unknown_gate_kind(self):
+        nl = Netlist("n")
+        nl.add_input("a")
+        with pytest.raises(LogicError, match="unknown gate kind"):
+            nl.add_gate("XNOR3", ["a"], "b")
+
+    def test_topological_build_enforced(self):
+        nl = Netlist("n")
+        nl.add_input("a")
+        with pytest.raises(LogicError, match="does not exist yet"):
+            nl.add_gate("AND", ["a", "later"], "b")
+
+    def test_mark_unknown_output(self):
+        nl = Netlist("n")
+        with pytest.raises(LogicError, match="unknown net"):
+            nl.mark_output("zz")
+
+
+class TestEvaluate:
+    def test_basic_gates(self):
+        nl = Netlist("g")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("AND", ["a", "b"], "and_o")
+        nl.add_gate("OR", ["a", "b"], "or_o")
+        nl.add_gate("XOR", ["a", "b"], "xor_o")
+        nl.add_gate("NAND", ["a", "b"], "nand_o")
+        nl.add_gate("NOR", ["a", "b"], "nor_o")
+        nl.add_gate("NOT", ["a"], "not_o")
+        nl.add_gate("BUF", ["b"], "buf_o")
+        v = nl.evaluate({"a": 1, "b": 0})
+        assert (v["and_o"], v["or_o"], v["xor_o"]) == (0, 1, 1)
+        assert (v["nand_o"], v["nor_o"]) == (1, 0)
+        assert (v["not_o"], v["buf_o"]) == (0, 0)
+
+    def test_missing_input_value(self):
+        nl = make_xor_chain(2)
+        with pytest.raises(LogicError, match="missing value"):
+            nl.evaluate({"a": 1})
+
+
+class TestSettle:
+    def test_no_change_settles_at_zero(self):
+        nl = make_xor_chain(3)
+        zeros = {"a": 0, "b0": 0, "b1": 0, "b2": 0}
+        values, settle = nl.settle(zeros, zeros)
+        assert settle == 0.0
+
+    def test_chain_depth_sets_settle_time(self):
+        nl = make_xor_chain(4)
+        stim = {"a": 1, "b0": 0, "b1": 0, "b2": 0, "b3": 0}
+        values, settle = nl.settle(stim)
+        assert settle == pytest.approx(4.0)
+        assert values["x3"] == 1
+
+    def test_cancelled_edge_does_not_stick(self):
+        # Both XOR inputs flip together: output must stay 0.
+        nl = Netlist("c")
+        nl.add_input("a")
+        nl.add_input("b")
+        nl.add_gate("XOR", ["a", "b"], "x", delay_ns=1.0)
+        nl.mark_output("x")
+        values, _ = nl.settle({"a": 1, "b": 1})
+        assert values["x"] == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_settle_matches_evaluate(self, a, b, prev):
+        """Property: event-driven final values equal zero-delay evaluation."""
+        nl = make_xor_chain(8)
+        def stim(word):
+            values = {"a": word & 1}
+            values.update(
+                {f"b{i}": (word >> i) & 1 for i in range(8)}
+            )
+            return values
+        final, _ = nl.settle(stim(a ^ b), stim(prev))
+        assert final == {**nl.evaluate(stim(a ^ b))}
+
+
+class TestBusHelpers:
+    def test_round_trip(self):
+        values = bus_values("d", 8, 0xA5)
+        assert read_bus(values, "d", 8) == 0xA5

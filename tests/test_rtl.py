@@ -1,0 +1,135 @@
+"""Tests for datapath and system RTL generation."""
+
+import re
+
+import pytest
+
+from repro.fsm.signals import operand_fetch, register_enable
+from repro.rtl import (
+    datapath_statistics,
+    datapath_to_verilog,
+    system_to_verilog,
+)
+
+
+@pytest.fixture()
+def datapath_text(fig3_result) -> str:
+    return datapath_to_verilog(fig3_result.bound, width=12)
+
+
+class TestDatapathStatistics:
+    def test_one_register_per_op(self, fig3_result):
+        stats = datapath_statistics(fig3_result.bound)
+        assert stats.num_registers == len(fig3_result.dfg)
+
+    def test_units_counted(self, fig3_result):
+        stats = datapath_statistics(fig3_result.bound)
+        assert stats.num_units == len(fig3_result.bound.used_units())
+
+    def test_shared_units_need_muxes(self, fig3_result):
+        stats = datapath_statistics(fig3_result.bound)
+        multi_op_units = [
+            u.name
+            for u in fig3_result.bound.used_units()
+            if len(fig3_result.bound.ops_on_unit(u.name)) > 1
+        ]
+        muxed = {
+            unit for unit, a, b in stats.mux_inputs_by_unit if a > 1 or b > 1
+        }
+        assert set(multi_op_units) <= muxed
+
+    def test_render(self, fig3_result):
+        text = datapath_statistics(fig3_result.bound).render()
+        assert "result registers" in text
+
+
+class TestDatapathVerilog:
+    def test_module_and_ports(self, datapath_text, fig3_result):
+        assert "module datapath (" in datapath_text
+        for name in fig3_result.dfg.inputs:
+            assert re.search(rf"\[11:0\] {name}\b", datapath_text)
+        for out_name in fig3_result.dfg.outputs:
+            assert f"out_{out_name}" in datapath_text
+
+    def test_strobe_ports_per_op(self, datapath_text, fig3_result):
+        for op in fig3_result.dfg.op_names():
+            assert operand_fetch(op) in datapath_text
+            assert register_enable(op) in datapath_text
+
+    def test_one_register_per_op(self, datapath_text, fig3_result):
+        for op in fig3_result.dfg.op_names():
+            assert f"reg signed [11:0] r_{op};" in datapath_text
+
+    def test_writeback_under_re(self, datapath_text, fig3_result):
+        op = fig3_result.dfg.op_names()[0]
+        unit = fig3_result.bound.unit_of(op).name
+        assert f"if (RE_{op}) r_{op} <= {unit}_out;" in datapath_text
+
+    def test_unit_expressions(self, datapath_text):
+        assert re.search(r"TM1_out =\s*TM1_in0 \* TM1_in1", datapath_text)
+        assert re.search(r"A1_out =\s*A1_in0 \+ A1_in1", datapath_text)
+
+    def test_csg_black_box_ports(self, datapath_text, fig3_result):
+        for unit in fig3_result.allocation.telescopic_units():
+            assert f"csg_{unit.name}_done" in datapath_text
+            assert f"assign C_{unit.name}" in datapath_text
+
+    def test_mux_selected_by_of(self, datapath_text):
+        assert re.search(r"\{12\{OF_\w+\}\}", datapath_text)
+
+    def test_constants_inlined(self, diffeq_result):
+        text = datapath_to_verilog(diffeq_result.bound, width=12)
+        assert "12'd3" in text  # the literal 3 of 3*x
+
+
+class TestSystemVerilog:
+    def test_three_module_groups(self, fig3_result):
+        text = system_to_verilog(fig3_result.distributed)
+        modules = re.findall(r"^module\s+(\w+)", text, re.MULTILINE)
+        assert "fig3_control" in modules
+        assert "fig3_datapath" in modules
+        assert "system_top" in modules
+
+    def test_internal_strobes_wired(self, fig3_result):
+        text = system_to_verilog(fig3_result.distributed)
+        top = text.split("module system_top")[1]
+        assert re.search(r"\.OF_o0\(OF_o0\)", top)
+        assert re.search(r"\.C_TM1\(C_TM1\)", top)
+
+    def test_top_exposes_only_dataflow_and_csg(self, fig3_result):
+        text = system_to_verilog(fig3_result.distributed)
+        header = text.split("module system_top")[1].split(");")[0]
+        assert "csg_TM1_done" in header
+        assert "OF_" not in header  # strobes are internal
+
+
+class TestSystemArea:
+    def test_rollup_consistent(self, fig3_result):
+        from repro.rtl import system_area_report
+
+        report = system_area_report(fig3_result.distributed, width=12)
+        controller = fig3_result.distributed.total_area()
+        assert report.controller_combinational == pytest.approx(
+            controller.combinational_area
+        )
+        assert report.controller_sequential == pytest.approx(
+            controller.sequential_area
+        )
+        assert 0.0 < report.controller_fraction < 1.0
+
+    def test_register_area_scales_with_width(self, fig3_result):
+        from repro.rtl import system_area_report
+
+        narrow = system_area_report(fig3_result.distributed, width=8)
+        wide = system_area_report(fig3_result.distributed, width=32)
+        assert (
+            wide.datapath_register_sequential
+            == 4 * narrow.datapath_register_sequential
+        )
+        assert wide.controller_fraction < narrow.controller_fraction
+
+    def test_render(self, fig3_result):
+        from repro.rtl import system_area_report
+
+        text = system_area_report(fig3_result.distributed).render()
+        assert "controller share" in text

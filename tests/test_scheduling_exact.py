@@ -1,0 +1,79 @@
+"""Unit tests for the exact (branch-and-bound) scheduler."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.benchmarks import (
+    differential_equation,
+    fir3,
+    iir2,
+    paper_fig3_dfg,
+)
+from repro.core.analysis import schedule_length
+from repro.errors import SchedulingError
+from repro.resources import ResourceAllocation
+from repro.scheduling import exact_schedule, list_schedule
+
+from conftest import random_dfgs
+
+
+class TestExactSchedule:
+    def test_valid_and_resource_legal(self):
+        dfg = differential_equation()
+        alloc = ResourceAllocation.parse("mul:2T,add:1,sub:1")
+        sched = exact_schedule(dfg, alloc)
+        for rc, used in sched.resource_usage().items():
+            assert used <= alloc.count(rc)
+
+    def test_never_worse_than_list(self):
+        for dfg, spec in [
+            (fir3(), "mul:2T,add:1"),
+            (iir2(), "mul:2T,add:1"),
+            (paper_fig3_dfg(), "mul:2T,add:2"),
+        ]:
+            alloc = ResourceAllocation.parse(spec)
+            assert (
+                exact_schedule(dfg, alloc).num_steps
+                <= list_schedule(dfg, alloc).num_steps
+            )
+
+    def test_beats_list_on_iir2(self):
+        """The known case where the heuristic loses one step."""
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        assert exact_schedule(iir2(), alloc).num_steps == 5
+        assert list_schedule(iir2(), alloc).num_steps == 6
+
+    def test_matches_critical_path_when_unconstrained(self):
+        dfg = differential_equation()
+        alloc = ResourceAllocation.parse("mul:6T,add:2,sub:3")
+        assert exact_schedule(dfg, alloc).num_steps == schedule_length(dfg)
+
+    def test_visited_limit(self):
+        from repro.benchmarks import ar_lattice
+
+        alloc = ResourceAllocation.parse("mul:4T,add:2")
+        with pytest.raises(SchedulingError, match="exceeded"):
+            exact_schedule(ar_lattice(), alloc, max_visited=5)
+
+    def test_synthesize_scheduler_option(self):
+        from repro.api import synthesize
+
+        exact = synthesize(iir2(), "mul:2T,add:1", scheduler="exact")
+        heuristic = synthesize(iir2(), "mul:2T,add:1", scheduler="list")
+        assert exact.schedule.num_steps < heuristic.schedule.num_steps
+
+    def test_unknown_scheduler_rejected(self):
+        from repro.api import synthesize
+
+        with pytest.raises(SchedulingError, match="unknown scheduler"):
+            synthesize(fir3(), "mul:2T,add:1", scheduler="magic")
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_dfgs)
+def test_exact_lower_bounds_list_on_random_graphs(dfg):
+    """Property: the exact schedule is a certified lower bound."""
+    alloc = ResourceAllocation.parse("mul:1T,add:1,sub:1")
+    exact = exact_schedule(dfg, alloc)
+    heuristic = list_schedule(dfg, alloc)
+    assert schedule_length(dfg) <= exact.num_steps <= heuristic.num_steps

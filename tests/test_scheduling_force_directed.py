@@ -1,0 +1,48 @@
+"""Unit tests for force-directed scheduling."""
+
+import pytest
+
+from repro.benchmarks import differential_equation, fir5
+from repro.core.analysis import schedule_length
+from repro.core.ops import ResourceClass
+from repro.errors import SchedulingError
+from repro.scheduling.force_directed import force_directed_schedule
+
+
+class TestForceDirected:
+    def test_dependencies_respected(self):
+        dfg = differential_equation()
+        sched = force_directed_schedule(dfg)
+        for op in dfg:
+            for pred in dfg.predecessors(op.name):
+                assert sched.start[pred] < sched.start[op.name]
+
+    def test_horizon_respected(self):
+        dfg = fir5()
+        horizon = schedule_length(dfg) + 2
+        sched = force_directed_schedule(dfg, horizon=horizon)
+        assert sched.num_steps <= horizon
+
+    def test_short_horizon_rejected(self):
+        dfg = fir5()
+        with pytest.raises(SchedulingError, match="below critical path"):
+            force_directed_schedule(dfg, horizon=1)
+
+    def test_balances_below_asap_peak(self):
+        """With slack, FDS should not need more units than ASAP's peak."""
+        from repro.scheduling.asap_alap import asap_schedule
+
+        dfg = fir5()
+        asap_usage = asap_schedule(dfg).resource_usage()
+        fds = force_directed_schedule(dfg, horizon=schedule_length(dfg) + 2)
+        fds_usage = fds.resource_usage()
+        assert (
+            fds_usage[ResourceClass.MULTIPLIER]
+            <= asap_usage[ResourceClass.MULTIPLIER]
+        )
+
+    def test_deterministic(self):
+        dfg = differential_equation()
+        a = force_directed_schedule(dfg, horizon=schedule_length(dfg) + 1)
+        b = force_directed_schedule(dfg, horizon=schedule_length(dfg) + 1)
+        assert a.start == b.start

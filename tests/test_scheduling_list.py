@@ -1,0 +1,72 @@
+"""Unit tests for the resource-constrained list scheduler."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.benchmarks import ar_lattice, differential_equation, fir5
+from repro.core.analysis import schedule_length
+from repro.core.ops import ResourceClass
+from repro.resources.allocation import ResourceAllocation
+from repro.scheduling.list_scheduler import list_schedule
+
+from conftest import random_dfgs
+
+
+class TestListSchedule:
+    def test_respects_resource_limits(self):
+        dfg = fir5()
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        sched = list_schedule(dfg, alloc)
+        usage = sched.resource_usage()
+        assert usage[ResourceClass.MULTIPLIER] <= 2
+        assert usage[ResourceClass.ADDER] <= 1
+
+    def test_not_shorter_than_critical_path(self):
+        dfg = fir5()
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        sched = list_schedule(dfg, alloc)
+        assert sched.num_steps >= schedule_length(dfg)
+
+    def test_unconstrained_equals_asap_length(self):
+        dfg = differential_equation()
+        alloc = ResourceAllocation.parse("mul:6T,add:2,sub:3")
+        sched = list_schedule(dfg, alloc)
+        assert sched.num_steps == schedule_length(dfg)
+
+    def test_single_unit_serializes(self):
+        dfg = fir5()
+        alloc = ResourceAllocation.parse("mul:1T,add:1")
+        sched = list_schedule(dfg, alloc)
+        mult_steps = [
+            sched.start[n]
+            for n in dfg.ops_of_class(ResourceClass.MULTIPLIER)
+        ]
+        assert len(set(mult_steps)) == len(mult_steps)
+
+    def test_deterministic(self):
+        dfg = ar_lattice()
+        alloc = ResourceAllocation.parse("mul:4T,add:2")
+        assert (
+            list_schedule(dfg, alloc).start
+            == list_schedule(dfg, alloc).start
+        )
+
+    def test_missing_class_rejected(self):
+        dfg = differential_equation()
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        with pytest.raises(Exception, match="provides none"):
+            list_schedule(dfg, alloc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_dfgs)
+def test_list_schedule_valid_on_random_graphs(dfg):
+    """Property: schedule is dependency-consistent and resource-legal."""
+    spec = "mul:1T,add:1,sub:1"
+    alloc = ResourceAllocation.parse(spec)
+    sched = list_schedule(dfg, alloc)
+    for op in dfg:
+        for pred in dfg.predecessors(op.name):
+            assert sched.start[pred] < sched.start[op.name]
+    for rc, used in sched.resource_usage().items():
+        assert used <= alloc.count(rc)

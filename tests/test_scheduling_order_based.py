@@ -1,0 +1,176 @@
+"""Unit tests for order-based scheduling (paper §3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.benchmarks import ar_lattice, fir5, paper_fig3_dfg
+from repro.core.ops import ResourceClass
+from repro.core.validate import validate_extra_edges
+from repro.resources.allocation import ResourceAllocation
+from repro.scheduling.order_based import (
+    concurrency_width,
+    minimum_units_required,
+    order_based_schedule,
+)
+
+from conftest import random_dfgs
+
+
+class TestConcurrencyWidth:
+    def test_fig3_multiplications_need_three_units(self):
+        """The paper's Fig. 3(b) claim: minimal clique count is three."""
+        dfg = paper_fig3_dfg()
+        assert minimum_units_required(dfg, ResourceClass.MULTIPLIER) == 3
+
+    def test_chain_has_width_one(self, chain_dfg):
+        assert (
+            minimum_units_required(chain_dfg, ResourceClass.MULTIPLIER) == 1
+        )
+
+    def test_arcs_reduce_width(self):
+        dfg = paper_fig3_dfg()
+        ops = dfg.ops_of_class(ResourceClass.MULTIPLIER)
+        before = concurrency_width(dfg, ops)
+        after = concurrency_width(dfg, ops, (("o1", "o4"),))
+        assert after <= before
+
+    def test_empty_ops(self):
+        dfg = paper_fig3_dfg()
+        assert concurrency_width(dfg, ()) == 0
+
+
+class TestOrderBasedSchedule:
+    def test_width_fits_allocation(self):
+        dfg = paper_fig3_dfg()
+        alloc = ResourceAllocation.parse("mul:2T,add:2")
+        order = order_based_schedule(dfg, alloc)
+        for rc in dfg.resource_classes():
+            ops = dfg.ops_of_class(rc)
+            width = concurrency_width(dfg, ops, order.schedule_arcs)
+            assert width <= alloc.count(rc)
+
+    def test_arcs_keep_graph_acyclic(self):
+        dfg = ar_lattice()
+        alloc = ResourceAllocation.parse("mul:4T,add:2")
+        order = order_based_schedule(dfg, alloc)
+        validate_extra_edges(dfg, order.schedule_arcs)
+
+    def test_no_arcs_with_abundant_units(self):
+        dfg = paper_fig3_dfg()
+        alloc = ResourceAllocation.parse("mul:5T,add:4")
+        order = order_based_schedule(dfg, alloc)
+        # Every op can get its own unit: chains are singletons.
+        assert all(
+            len(chain) <= 1
+            for chains in order.chains.values()
+            for chain in chains
+        )
+        assert order.schedule_arcs == ()
+
+    def test_single_unit_gives_total_order(self):
+        dfg = fir5()
+        alloc = ResourceAllocation.parse("mul:1T,add:1")
+        order = order_based_schedule(dfg, alloc)
+        mult_chain = order.chains[ResourceClass.MULTIPLIER][0]
+        assert set(mult_chain) == set(
+            dfg.ops_of_class(ResourceClass.MULTIPLIER)
+        )
+
+    def test_chains_respect_existing_dependencies(self):
+        """An op never precedes its own (transitive) predecessor in a chain."""
+        from repro.core.dfg import transitive_dependency
+
+        dfg = ar_lattice()
+        alloc = ResourceAllocation.parse("mul:2T,add:1")
+        order = order_based_schedule(dfg, alloc)
+        deps = transitive_dependency(dfg)
+        for _, chain in order.all_chains():
+            for i, earlier in enumerate(chain):
+                for later in chain[i + 1 :]:
+                    assert earlier not in deps.get(later, ()) or True
+                    assert later not in deps[earlier]
+
+    def test_describe(self, fig3_result):
+        text = fig3_result.order.describe()
+        assert "schedule arcs" in text
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_dfgs)
+def test_order_schedule_invariants_on_random_graphs(dfg):
+    """Property: arcs acyclic and per-class width fits the allocation."""
+    alloc = ResourceAllocation.parse("mul:1T,add:1,sub:1")
+    order = order_based_schedule(dfg, alloc)
+    validate_extra_edges(dfg, order.schedule_arcs)
+    for rc in dfg.resource_classes():
+        ops = dfg.ops_of_class(rc)
+        assert (
+            concurrency_width(dfg, ops, order.schedule_arcs)
+            <= alloc.count(rc)
+        )
+
+
+class TestObjectives:
+    def test_unknown_objective_rejected(self):
+        from repro.errors import SchedulingError
+        from repro.resources.allocation import ResourceAllocation
+
+        dfg = paper_fig3_dfg()
+        with pytest.raises(SchedulingError, match="unknown objective"):
+            order_based_schedule(
+                dfg,
+                ResourceAllocation.parse("mul:2T,add:2"),
+                objective="magic",
+            )
+
+    def test_communication_objective_valid(self):
+        from repro.benchmarks import fdct
+        from repro.core.validate import validate_extra_edges
+        from repro.resources.allocation import ResourceAllocation
+
+        dfg = fdct()
+        alloc = ResourceAllocation.parse("mul:2T,add:2,sub:2")
+        order = order_based_schedule(dfg, alloc, objective="communication")
+        validate_extra_edges(dfg, order.schedule_arcs)
+        for rc in dfg.resource_classes():
+            ops = dfg.ops_of_class(rc)
+            assert (
+                concurrency_width(dfg, ops, order.schedule_arcs)
+                <= alloc.count(rc)
+            )
+
+    def test_communication_never_more_latches(self):
+        from repro.api import synthesize
+        from repro.benchmarks import fdct
+
+        latency = synthesize(fdct(), "mul:2T,add:2,sub:2")
+        comm = synthesize(
+            fdct(), "mul:2T,add:2,sub:2", objective="communication"
+        )
+        assert (
+            comm.distributed.num_latches
+            <= latency.distributed.num_latches
+        )
+
+    def test_communication_objective_still_correct(self):
+        from repro.api import synthesize
+        from repro.benchmarks import fdct
+        from repro.resources import BernoulliCompletion
+        from repro.sim import simulate
+
+        result = synthesize(
+            fdct(), "mul:2T,add:2,sub:2", objective="communication"
+        )
+        inputs = {f"x{i}": i + 1 for i in range(8)}
+        sim = simulate(
+            result.distributed_system(),
+            result.bound,
+            BernoulliCompletion(0.6),
+            seed=4,
+            inputs=inputs,
+        )
+        reference = result.dfg.evaluate(inputs)
+        for out_name in result.dfg.outputs:
+            assert sim.datapath.output_values()[out_name] == reference[
+                out_name
+            ]

@@ -1,0 +1,127 @@
+"""Tests for JSON serialization of graphs, FSMs and designs."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ReproError
+from repro.serialize import (
+    design_to_dict,
+    dfg_from_dict,
+    dfg_to_dict,
+    dumps,
+    fsm_from_dict,
+    fsm_to_dict,
+    loads,
+)
+
+from conftest import random_dfgs
+
+
+class TestDfgRoundTrip:
+    def test_paper_benchmarks_round_trip(self):
+        from repro.benchmarks import all_benchmarks
+
+        for entry in all_benchmarks():
+            dfg = entry.dfg()
+            clone = dfg_from_dict(loads(dumps(dfg_to_dict(dfg))))
+            assert clone.name == dfg.name
+            assert clone.inputs == dfg.inputs
+            assert clone.op_names() == dfg.op_names()
+            assert clone.outputs == dfg.outputs
+            inputs = {n: i + 1 for i, n in enumerate(dfg.inputs)}
+            assert clone.evaluate(inputs) == dfg.evaluate(inputs)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ReproError, match="unsupported DFG format"):
+            dfg_from_dict({"format": 99})
+
+    def test_bad_op_type_rejected(self, simple_dfg):
+        data = dfg_to_dict(simple_dfg)
+        data["operations"][0]["type"] = "FROBNICATE"
+        with pytest.raises(ReproError, match="unknown operation type"):
+            dfg_from_dict(data)
+
+    def test_bad_operand_kind_rejected(self, simple_dfg):
+        data = dfg_to_dict(simple_dfg)
+        data["operations"][0]["operands"][0] = {"kind": "???"}
+        with pytest.raises(ReproError, match="unknown operand kind"):
+            dfg_from_dict(data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_dfgs)
+    def test_random_graphs_round_trip(self, dfg):
+        clone = dfg_from_dict(dfg_to_dict(dfg))
+        inputs = {n: 2 * i + 1 for i, n in enumerate(dfg.inputs)}
+        assert clone.evaluate(inputs) == dfg.evaluate(inputs)
+
+
+class TestFsmRoundTrip:
+    def test_controllers_round_trip(self, fig3_result):
+        for fsm in fig3_result.distributed.controllers.values():
+            clone = fsm_from_dict(loads(dumps(fsm_to_dict(fsm))))
+            assert clone.states == fsm.states
+            assert clone.initial == fsm.initial
+            assert clone.inputs == fsm.inputs
+            assert clone.outputs == fsm.outputs
+            assert clone.initial_starts == fsm.initial_starts
+            assert set(clone.transitions) == set(fsm.transitions)
+
+    def test_deserialized_fsm_simulates_identically(self, fig3_result):
+        from repro.resources import AllSlowCompletion
+        from repro.sim import simulate, system_from_bound
+
+        clones = {
+            unit: fsm_from_dict(fsm_to_dict(fsm))
+            for unit, fsm in fig3_result.distributed.controllers.items()
+        }
+        system = system_from_bound(fig3_result.bound, clones)
+        original = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllSlowCompletion(),
+        )
+        restored = simulate(system, fig3_result.bound, AllSlowCompletion())
+        assert restored.cycles == original.cycles
+        assert restored.finish_cycles == original.finish_cycles
+
+    def test_validation_on_load(self, fig3_result):
+        fsm = fig3_result.distributed.controller("TM1")
+        data = fsm_to_dict(fsm)
+        data["transitions"] = data["transitions"][:2]
+        from repro.errors import FSMError
+
+        with pytest.raises(FSMError):
+            fsm_from_dict(data)
+
+
+class TestDesignRecord:
+    def test_design_record_fields(self, fig3_result):
+        record = design_to_dict(fig3_result)
+        assert record["clock_ns"] == 15.0
+        assert record["binding"]["o0"] == "TM1"
+        assert record["schedule"]["o0"] == 0
+        assert set(record["controllers"]) == set(
+            fig3_result.distributed.unit_names
+        )
+        assert "CC_o5" in record["pruned_signals"]
+
+    def test_design_record_json_stable(self, fig3_result):
+        a = dumps(design_to_dict(fig3_result))
+        b = dumps(design_to_dict(fig3_result))
+        assert a == b
+
+    def test_multilevel_allocation_recorded(self):
+        from repro.api import synthesize
+        from repro.benchmarks import fir3
+        from repro.core.ops import ResourceClass
+        from repro.resources import ResourceAllocation
+
+        alloc = ResourceAllocation.build(
+            {ResourceClass.MULTIPLIER: 2, ResourceClass.ADDER: 1},
+            level_delays_ns=(15.0, 30.0, 45.0),
+        )
+        record = design_to_dict(synthesize(fir3(), alloc))
+        tau = next(
+            u for u in record["allocation"] if u["name"] == "TM1"
+        )
+        assert tau["level_delays_ns"] == [15.0, 30.0, 45.0]

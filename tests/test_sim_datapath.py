@@ -1,0 +1,95 @@
+"""Unit tests for the value-computing datapath."""
+
+import pytest
+
+from repro.benchmarks import differential_equation, paper_fig2_dfg
+from repro.errors import SimulationError
+from repro.sim.datapath import Datapath
+
+
+@pytest.fixture()
+def datapath():
+    return Datapath(
+        paper_fig2_dfg(), {"a": 2, "c": 3, "d": 4, "g": 5, "j": 6}
+    )
+
+
+class TestConstruction:
+    def test_missing_input_rejected(self):
+        with pytest.raises(SimulationError, match="no value"):
+            Datapath(paper_fig2_dfg(), {"a": 1})
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(SimulationError, match="empty stream"):
+            Datapath(
+                paper_fig2_dfg(),
+                {"a": [], "c": 3, "d": 4, "g": 5, "j": 6},
+            )
+
+
+class TestExecution:
+    def test_topological_run_matches_reference(self, datapath):
+        dfg = paper_fig2_dfg()
+        for op in dfg:
+            datapath.start(op.name)
+        reference = dfg.evaluate({"a": 2, "c": 3, "d": 4, "g": 5, "j": 6})
+        for op in dfg:
+            assert datapath.result(op.name) == reference[op.name]
+        datapath.verify_iteration(0)
+
+    def test_premature_start_is_control_bug(self, datapath):
+        with pytest.raises(SimulationError, match="control bug"):
+            datapath.start("o1")  # o0 has not produced yet
+
+    def test_result_before_execution_rejected(self, datapath):
+        with pytest.raises(SimulationError, match="has not executed"):
+            datapath.result("o0")
+
+    def test_operand_values_preview(self, datapath):
+        assert datapath.operand_values("o0") == (2, 3)
+        assert datapath.executions("o0") == 0
+
+    def test_start_returns_operands(self, datapath):
+        assert datapath.start("o0") == (2, 3)
+        assert datapath.executions("o0") == 1
+
+
+class TestStreams:
+    def test_streaming_iterations(self):
+        dfg = paper_fig2_dfg()
+        dp = Datapath(
+            dfg,
+            {"a": [2, 20], "c": [3, 30], "d": 4, "g": 5, "j": 6},
+        )
+        for _ in range(2):
+            for op in dfg:
+                dp.start(op.name)
+        dp.verify_iteration(0)
+        dp.verify_iteration(1)
+        assert dp.result("o0", 0) == 6
+        assert dp.result("o0", 1) == 600
+
+    def test_stream_clamps_to_last_value(self):
+        dfg = paper_fig2_dfg()
+        dp = Datapath(dfg, {"a": [2], "c": 3, "d": 4, "g": 5, "j": 6})
+        assert dp.iteration_inputs(5)["a"] == 2
+
+    def test_output_values(self):
+        dfg = differential_equation()
+        inputs = {"x": 1, "y": 2, "u": 3, "dx": 4, "a": 100}
+        dp = Datapath(dfg, inputs)
+        for op in dfg:
+            dp.start(op.name)
+        reference = dfg.evaluate(inputs)
+        outputs = dp.output_values()
+        assert outputs == {
+            k: reference[k] for k in ("x1", "y1", "u1", "c")
+        }
+
+    def test_verify_detects_mismatch(self, datapath, monkeypatch):
+        dfg = paper_fig2_dfg()
+        for op in dfg:
+            datapath.start(op.name)
+        datapath._results["o5"][0] += 1  # corrupt a result
+        with pytest.raises(SimulationError, match="datapath mismatch"):
+            datapath.verify_iteration(0)

@@ -1,0 +1,181 @@
+"""Unit tests for the cycle-accurate simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.resources import (
+    AllFastCompletion,
+    AllSlowCompletion,
+    BernoulliCompletion,
+    TraceCompletion,
+)
+from repro.sim.simulator import simulate
+
+
+class TestLatency:
+    def test_all_fast_equals_best_case(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllFastCompletion(),
+        )
+        assert sim.cycles == fig3_result.latency_comparison().dist.best_cycles
+
+    def test_all_slow_equals_worst_case(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllSlowCompletion(),
+        )
+        assert (
+            sim.cycles == fig3_result.latency_comparison().dist.worst_cycles
+        )
+
+    def test_latency_ns_uses_clock(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllFastCompletion(),
+        )
+        assert sim.latency_ns == sim.cycles * 15.0
+
+    def test_finish_after_start(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            BernoulliCompletion(0.5),
+            seed=3,
+        )
+        for op in fig3_result.dfg.op_names():
+            assert sim.finish_cycles[op] > sim.start_cycles[op]
+
+    def test_start_respects_dependencies(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            BernoulliCompletion(0.5),
+            seed=9,
+        )
+        for op in fig3_result.dfg.op_names():
+            for pred in fig3_result.dfg.predecessors(op):
+                assert sim.start_cycles[op] >= sim.finish_cycles[pred]
+
+
+class TestReproducibility:
+    def test_same_seed_same_run(self, fig3_result):
+        runs = [
+            simulate(
+                fig3_result.distributed_system(),
+                fig3_result.bound,
+                BernoulliCompletion(0.5),
+                seed=11,
+            ).cycles
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_fast_outcomes_recorded(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllSlowCompletion(),
+        )
+        for op in fig3_result.bound.telescopic_ops():
+            assert sim.fast_outcomes[op][0] is False
+        fixed = next(
+            op.name
+            for op in fig3_result.dfg
+            if not fig3_result.bound.is_telescopic_op(op.name)
+        )
+        assert sim.fast_outcomes[fixed][0] is True
+
+
+class TestTrace:
+    def test_trace_recorded(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllFastCompletion(),
+            record_trace=True,
+        )
+        assert len(sim.trace) == sim.iteration_finish_cycles[0]
+        text = sim.trace.render()
+        assert "cycle" in text
+
+    def test_trace_optional(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllFastCompletion(),
+        )
+        assert sim.trace is None
+
+
+class TestIterations:
+    def test_multiple_iterations_monotone(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            BernoulliCompletion(0.7),
+            iterations=4,
+            seed=5,
+        )
+        finishes = sim.iteration_finish_cycles
+        assert len(finishes) == 4
+        assert list(finishes) == sorted(finishes)
+
+    def test_throughput_needs_two_iterations(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllFastCompletion(),
+        )
+        with pytest.raises(SimulationError, match="two simulated"):
+            sim.throughput_cycles()
+
+    def test_bad_iteration_count(self, fig3_result):
+        with pytest.raises(SimulationError, match=">= 1"):
+            simulate(
+                fig3_result.distributed_system(),
+                fig3_result.bound,
+                AllFastCompletion(),
+                iterations=0,
+            )
+
+
+class TestDeadlockDetection:
+    def test_max_cycles_guards_against_hangs(self, fig3_result):
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate(
+                fig3_result.distributed_system(),
+                fig3_result.bound,
+                AllSlowCompletion(),
+                max_cycles=2,
+            )
+
+
+class TestDatapathIntegration:
+    def test_results_verified_automatically(self, fig3_result):
+        inputs = {n: i + 1 for i, n in enumerate(fig3_result.dfg.inputs)}
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            BernoulliCompletion(0.5),
+            seed=2,
+            inputs=inputs,
+        )
+        reference = fig3_result.dfg.evaluate(inputs)
+        assert sim.datapath.output_values()["out"] == reference["out"]
+
+    def test_trace_completion_model(self, fig3_result):
+        tau_ops = fig3_result.bound.telescopic_ops()
+        model = TraceCompletion({op: [False] * 4 for op in tau_ops})
+        sim = simulate(
+            fig3_result.distributed_system(), fig3_result.bound, model
+        )
+        worst = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllSlowCompletion(),
+        )
+        assert sim.cycles == worst.cycles

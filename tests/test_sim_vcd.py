@@ -1,0 +1,88 @@
+"""Unit tests for VCD waveform export."""
+
+import re
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.resources import AllSlowCompletion, BernoulliCompletion
+from repro.sim import simulate, trace_to_vcd
+from repro.sim.vcd import _identifier
+
+
+@pytest.fixture()
+def vcd_text(fig3_result) -> str:
+    sim = simulate(
+        fig3_result.distributed_system(),
+        fig3_result.bound,
+        AllSlowCompletion(),
+        record_trace=True,
+    )
+    return trace_to_vcd(sim, design_name="fig3")
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        assert all(all(33 <= ord(c) <= 126 for c in s) for s in ids)
+
+
+class TestVcdStructure:
+    def test_header_sections(self, vcd_text):
+        for token in (
+            "$timescale",
+            "$scope module fig3",
+            "$enddefinitions",
+            "$dumpvars",
+        ):
+            assert token in vcd_text
+
+    def test_clock_declared(self, vcd_text):
+        assert re.search(r"\$var wire 1 \S+ clk \$end", vcd_text)
+
+    def test_controller_states_declared(self, vcd_text, fig3_result):
+        for key in fig3_result.distributed.unit_names:
+            assert re.search(
+                rf"\$var wire \d+ \S+ state_{key} \$end", vcd_text
+            )
+
+    def test_state_mapping_comment(self, vcd_text):
+        assert "$comment state_TM1:" in vcd_text
+
+    def test_output_signals_declared(self, vcd_text):
+        assert re.search(r"\$var wire 1 \S+ OF_o0 \$end", vcd_text)
+        assert re.search(r"\$var wire 1 \S+ RE_o0 \$end", vcd_text)
+
+    def test_time_advances_monotonically(self, vcd_text):
+        times = [int(m) for m in re.findall(r"^#(\d+)$", vcd_text, re.M)]
+        assert times == sorted(times)
+        assert times[0] == 0
+
+    def test_two_edges_per_cycle(self, vcd_text, fig3_result):
+        sim_cycles = 6  # all-slow fig3 latency
+        times = set(re.findall(r"^#(\d+)$", vcd_text, re.M))
+        # clock rises at 0, 15, 30, ... and falls in between
+        assert str(15 * (sim_cycles - 1)) in times
+
+    def test_requires_trace(self, fig3_result):
+        sim = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            BernoulliCompletion(0.5),
+        )
+        with pytest.raises(SimulationError, match="no trace"):
+            trace_to_vcd(sim)
+
+    def test_deterministic(self, fig3_result):
+        def render():
+            sim = simulate(
+                fig3_result.distributed_system(),
+                fig3_result.bound,
+                BernoulliCompletion(0.5),
+                seed=3,
+                record_trace=True,
+            )
+            return trace_to_vcd(sim)
+
+        assert render() == render()
