@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .faults.campaign import FaultCampaignReport
 
 from .analysis.latency import LatencyComparison, compare_latencies
 from .binding.binder import BoundDataflowGraph, bind
@@ -74,6 +77,26 @@ class SynthesisResult:
     ) -> LatencyComparison:
         """The Table-2 latency comparison for this design."""
         return compare_latencies(self.bound, self.taubm, ps=ps, **kwargs)
+
+    def fault_campaign(
+        self,
+        trials: int = 100,
+        seed: int = 0,
+        p: float = 0.7,
+        styles: Sequence[str] = ("dist", "cent-sync"),
+    ) -> "FaultCampaignReport":
+        """Run a seeded fault-injection campaign on this design.
+
+        Sweeps ``trials`` deterministic faults per controller style and
+        classifies each run as detected / tolerated / silent — see
+        :mod:`repro.faults`.  The report compares the distributed unit's
+        vulnerability against the synchronized centralized baseline.
+        """
+        from .faults.campaign import run_campaign
+
+        return run_campaign(
+            self, trials=trials, seed=seed, p=p, styles=styles
+        )
 
 
 def synthesize(

@@ -6,6 +6,7 @@ Gives the library's main flows a shell-level surface::
     python -m repro synthesize diffeq
     python -m repro synthesize fir5 --allocation "mul:3T,add:2" --verilog out.v
     python -m repro simulate fir5 --p 0.7 --trace --vcd fir5.vcd
+    python -m repro faults diffeq --trials 100 --seed 0
     python -m repro table1
     python -m repro table2
     python -m repro distribution fir5 --p 0.7
@@ -133,6 +134,32 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .faults.campaign import run_campaign
+
+    entry, result = _synthesize_from_args(args)
+    styles = (
+        ("dist", "cent-sync") if args.style == "both" else (args.style,)
+    )
+    report = run_campaign(
+        result,
+        trials=args.trials,
+        seed=args.seed,
+        p=args.p,
+        styles=styles,
+        benchmark=entry.name,
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"\nwrote JSON coverage report to {args.json}")
+    if args.strict:
+        report.check_no_escapes()
+    return 0
+
+
 def _cmd_table1(args) -> int:
     from .experiments.table1 import run_table1
 
@@ -223,6 +250,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.add_argument("--vcd", help="write a VCD waveform here")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_flt = sub.add_parser(
+        "faults",
+        help="seeded fault-injection campaign with coverage report",
+    )
+    add_design_args(p_flt)
+    p_flt.add_argument(
+        "--trials", type=int, default=100, help="faults per style"
+    )
+    p_flt.add_argument("--seed", type=int, default=0)
+    p_flt.add_argument("--p", type=float, default=0.7)
+    p_flt.add_argument(
+        "--style",
+        choices=("dist", "cent-sync", "both"),
+        default="both",
+        help="controller style(s) to attack (default: both)",
+    )
+    p_flt.add_argument("--json", help="write the JSON coverage report here")
+    p_flt.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on any silent corruption escape",
+    )
+    p_flt.set_defaults(func=_cmd_faults)
 
     p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p_t1.add_argument("benchmark", nargs="?", default="diffeq")

@@ -36,5 +36,130 @@ class SimulationError(ReproError):
     """The cycle-accurate simulation reached an inconsistent state."""
 
 
+class DeadlockError(SimulationError):
+    """The control unit stopped making progress before finishing.
+
+    Raised by the simulator's watchdog either when ``max_cycles`` is
+    exceeded or when the system is provably quiescent (no unit executing,
+    no state or latch changed, work still pending).  Beyond the human
+    message it carries machine-readable context so fault campaigns and
+    debuggers can name the stuck component directly.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: int = 0,
+        max_cycles: "int | None" = None,
+        pending_ops: "tuple[str, ...]" = (),
+        executing: "dict[str, str] | None" = None,
+        controller_states: "dict[str, str] | None" = None,
+        starved_edges: "tuple[tuple[str, str, str], ...]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.cycle = cycle
+        self.max_cycles = max_cycles
+        self.pending_ops = tuple(pending_ops)
+        self.executing = dict(executing or {})
+        self.controller_states = dict(controller_states or {})
+        self.starved_edges = tuple(starved_edges)
+
+    def context(self) -> "dict[str, object]":
+        """JSON-serializable snapshot of the stuck configuration."""
+        return {
+            "cycle": self.cycle,
+            "max_cycles": self.max_cycles,
+            "pending_ops": list(self.pending_ops),
+            "executing": dict(self.executing),
+            "controller_states": dict(self.controller_states),
+            "starved_edges": [list(edge) for edge in self.starved_edges],
+        }
+
+
+class ProtocolError(SimulationError):
+    """A controller violated the completion-handshake protocol.
+
+    Covers premature starts (token consumed before the producer finished),
+    double occupancy of a unit, completion of a non-executing operation,
+    completion before the sampled telescope delay elapsed, and — under the
+    strict handshake monitor — token overruns on the 1-bit arrival latches.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "protocol",
+        cycle: "int | None" = None,
+        op: "str | None" = None,
+        unit: "str | None" = None,
+        edges: "tuple[tuple[str, str, str], ...]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.cycle = cycle
+        self.op = op
+        self.unit = unit
+        self.edges = tuple(edges)
+
+    def context(self) -> "dict[str, object]":
+        """JSON-serializable description of the violation."""
+        return {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "op": self.op,
+            "unit": self.unit,
+            "edges": [list(e) for e in self.edges],
+        }
+
+
+class VerificationError(SimulationError):
+    """End-to-end datapath verification found wrong result values.
+
+    This is the *oracle* failure: the run completed without any runtime
+    monitor firing, yet an operation's value disagrees with the reference
+    evaluation of the dataflow graph — i.e. silent corruption.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: "str | None" = None,
+        iteration: "int | None" = None,
+        actual: "int | None" = None,
+        expected: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.op = op
+        self.iteration = iteration
+        self.actual = actual
+        self.expected = expected
+
+
+class InjectedFaultEscape(SimulationError):
+    """A deliberately injected fault produced silent corruption.
+
+    Raised by the fault-campaign runner in strict mode when a faulty run
+    finished without any runtime monitor firing but the datapath oracle
+    found wrong values — the one outcome a robust control scheme must
+    never allow.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        fault: "str | None" = None,
+        benchmark: "str | None" = None,
+        trial: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.fault = fault
+        self.benchmark = benchmark
+        self.trial = trial
+
+
 class LogicError(ReproError):
     """A boolean-logic object (cover, cube, function) is malformed."""

@@ -59,6 +59,28 @@ class CompletionModel(abc.ABC):
 
 
 @dataclass
+class DelegatingCompletion(CompletionModel):
+    """Base for models that wrap and selectively override another model.
+
+    Forwards ``is_fast``/``sample_level``/``reset`` to ``inner`` verbatim;
+    subclasses override only the behaviour they change.  This is the hook
+    the fault-injection layer (:mod:`repro.faults`) uses to perturb
+    completion behaviour without re-implementing the wrapped model.
+    """
+
+    inner: CompletionModel
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        return self.inner.is_fast(op_name, unit, operands, rng)
+
+    def sample_level(self, op_name, unit, operands, rng) -> int:
+        return self.inner.sample_level(op_name, unit, operands, rng)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+@dataclass
 class BernoulliCompletion(CompletionModel):
     """Each execution is fast independently with probability ``p``.
 

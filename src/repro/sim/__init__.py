@@ -14,7 +14,7 @@ from .runner import (
     pipelined_throughput,
     simulate_assignment,
 )
-from .simulator import SimulationResult, simulate
+from .simulator import MonitorConfig, SimulationResult, simulate
 from .trace import CycleRecord, SimulationTrace, gantt
 from .stimulus import (
     ValueDistribution,
@@ -31,6 +31,7 @@ __all__ = [
     "CycleRecord",
     "Datapath",
     "LatencyStatistics",
+    "MonitorConfig",
     "SimulationResult",
     "SimulationTrace",
     "SystemConfig",

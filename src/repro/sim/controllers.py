@@ -152,6 +152,21 @@ class ControllerSystem:
                 seen.setdefault(signal, None)
         return tuple(seen)
 
+    def dependence_edges(self) -> tuple[tuple[str, str, str], ...]:
+        """All (controller, consumer op, producer op) arrival-latch edges.
+
+        One entry per 1-bit completion-arrival latch of the distributed
+        unit — the exact set of places a handshake fault can strike.  Empty
+        for centralized (single-FSM) systems, which have no inter-controller
+        nets.
+        """
+        edges: list[tuple[str, str, str]] = []
+        for key in self._keys:
+            for producer, consumers in sorted(self._edges[key].items()):
+                for consumer in consumers:
+                    edges.append((key, consumer, producer))
+        return tuple(edges)
+
     def all_ops(self) -> frozenset[str]:
         """Every operation some controller starts or completes."""
         ops: set[str] = set()
@@ -181,6 +196,9 @@ class ControllerSystem:
         self,
         config: SystemConfig,
         unit_completions: Mapping[str, bool],
+        *,
+        suppress_pulses: frozenset[str] = frozenset(),
+        inject_pulses: frozenset[str] = frozenset(),
     ) -> SystemStep:
         """Advance every controller by one clock edge.
 
@@ -188,6 +206,13 @@ class ControllerSystem:
         current cycle (missing units read as 0, which is only legal when
         the corresponding input is not referenced this cycle — enforced by
         the FSM semantics being insensitive to unreferenced inputs).
+
+        ``suppress_pulses`` / ``inject_pulses`` model glitches on the
+        inter-controller completion nets: a suppressed producer's ``CC``
+        pulse is emitted by its FSM but reaches no consumer and no latch
+        this cycle; an injected producer pulses spuriously.  Both default
+        to empty (the fault-free wire); :mod:`repro.faults` drives them.
+        The step function stays pure — no internal state is mutated.
         """
         flags = config.flags
         # Pass 1: outputs (hence CC pulses) with flag-only CC inputs.
@@ -202,6 +227,8 @@ class ControllerSystem:
             for signal in transition.outputs:
                 if is_op_completion(signal):
                     pulses.add(op_of_completion(signal))
+        pulses -= suppress_pulses
+        pulses |= inject_pulses
         # Pass 2: state choice with pulse-or-flag CC inputs.
         next_states: list[str] = []
         outputs: set[str] = set()

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from ..core.dfg import ConstRef, DataflowGraph, InputRef, OpRef
-from ..errors import SimulationError
+from ..errors import ProtocolError, SimulationError, VerificationError
 
 
 class Datapath:
@@ -70,10 +70,12 @@ class Datapath:
                 assert isinstance(operand, OpRef)
                 produced = self._results[operand.op]
                 if iteration >= len(produced):
-                    raise SimulationError(
+                    raise ProtocolError(
                         f"control bug: {op_name!r} iteration {iteration} "
                         f"started before producer {operand.op!r} finished "
-                        f"iteration {iteration}"
+                        f"iteration {iteration}",
+                        kind="premature-start",
+                        op=op_name,
                     )
                 values.append(produced[iteration])
         return tuple(values)
@@ -118,10 +120,14 @@ class Datapath:
         for op in self._dfg:
             actual = self.result(op.name, iteration)
             if actual != reference[op.name]:
-                raise SimulationError(
+                raise VerificationError(
                     f"datapath mismatch at {op.name!r} iteration "
                     f"{iteration}: controller produced {actual}, reference "
-                    f"says {reference[op.name]}"
+                    f"says {reference[op.name]}",
+                    op=op.name,
+                    iteration=iteration,
+                    actual=actual,
+                    expected=reference[op.name],
                 )
 
     def output_values(self, iteration: int = 0) -> dict[str, int]:

@@ -19,15 +19,35 @@ cycle-for-cycle (enforced by tests).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..binding.binder import BoundDataflowGraph
-from ..errors import SimulationError
+from ..errors import DeadlockError, ProtocolError, SimulationError
 from ..resources.completion import CompletionModel
 from .controllers import ControllerSystem
 from .datapath import Datapath
 from .trace import CycleRecord, SimulationTrace
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Which runtime invariant monitors the simulator enforces.
+
+    ``occupancy``, ``timing`` and ``deadlock`` are invariants of every
+    correct control unit — they can only fire when something (a fault
+    injector, a hand-mutated FSM) broke the protocol, so they default on.
+    ``handshake`` promotes token overruns on the completion-arrival latches
+    to :class:`~repro.errors.ProtocolError`; overruns are *legal* under
+    overlapped iterations (they mark where a real design needs deeper
+    buffering), so strict handshake checking is opt-in and meant for
+    single-iteration fault campaigns.
+    """
+
+    deadlock: bool = True
+    occupancy: bool = True
+    timing: bool = True
+    handshake: bool = False
 
 
 @dataclass(frozen=True)
@@ -40,7 +60,9 @@ class SimulationResult:
     finish_cycles: Mapping[str, int]
     iteration_finish_cycles: tuple[int, ...]
     fast_outcomes: Mapping[str, tuple[bool, ...]]
-    level_outcomes: Mapping[str, tuple[int, ...]] = None
+    level_outcomes: Mapping[str, tuple[int, ...]] = field(
+        default_factory=dict
+    )
     token_overruns: int = 0
     trace: "SimulationTrace | None" = None
     datapath: "Datapath | None" = None
@@ -70,13 +92,20 @@ def simulate(
     inputs: "Mapping[str, int | Sequence[int]] | None" = None,
     record_trace: bool = False,
     max_cycles: "int | None" = None,
+    monitors: "MonitorConfig | None" = None,
 ) -> SimulationResult:
     """Run a controller system until every op completed ``iterations`` times.
 
     ``inputs`` enables the value-computing datapath (required for
     operand-dependent completion models).  ``max_cycles`` bounds the run
     and turns controller deadlocks into errors instead of hangs.
+    ``monitors`` selects the runtime invariant checks (see
+    :class:`MonitorConfig`); protocol violations raise
+    :class:`~repro.errors.ProtocolError` and stalls raise
+    :class:`~repro.errors.DeadlockError` with machine-readable context.
     """
+    if monitors is None:
+        monitors = MonitorConfig()
     if iterations < 1:
         raise SimulationError("iterations must be >= 1")
     completion.reset()
@@ -106,6 +135,17 @@ def simulate(
 
     def begin(op: str, cycle: int) -> None:
         unit = bound.unit_of(op)
+        if monitors.occupancy and unit.name in executing:
+            busy_op = executing[unit.name][0]
+            raise ProtocolError(
+                f"occupancy violation: unit {unit.name!r} is busy with "
+                f"{busy_op!r} but a controller started {op!r} at cycle "
+                f"{cycle}",
+                kind="occupancy",
+                cycle=cycle,
+                op=op,
+                unit=unit.name,
+            )
         operands = datapath.start(op) if datapath is not None else None
         if unit.is_telescopic:
             level = int(completion.sample_level(op, unit, operands, rng))
@@ -118,18 +158,72 @@ def simulate(
         executing[unit.name] = (op, duration, cycle)
         start_cycles.setdefault(op, cycle)
 
-    for op in system.initial_starts():
+    # Sorted iteration over start/complete sets keeps error reporting
+    # deterministic across processes (frozenset order follows the
+    # per-process string hash seed).
+    for op in sorted(system.initial_starts()):
         begin(op, 0)
 
+    def deadlock_context() -> dict:
+        pending = tuple(
+            sorted(op for op in ops if completions[op] < iterations)
+        )
+        # Completion nets a stuck consumer is waiting on: a dependence
+        # edge of a pending op whose arrival flag is empty is exactly a
+        # ``CC_<producer>`` token that never arrived — on an injected
+        # handshake fault this names the faulted net.
+        starved = tuple(
+            edge
+            for edge in system.dependence_edges()
+            if edge[1] in pending and edge not in config.flags
+        )
+        return {
+            "cycle": cycle,
+            "pending_ops": pending,
+            "executing": {u: rec[0] for u, rec in sorted(executing.items())},
+            "controller_states": dict(zip(system.keys, config.states)),
+            "starved_edges": starved,
+        }
+
+    def deadlock_detail() -> str:
+        ctx = deadlock_context()
+        never_started = sorted(set(ctx["pending_ops"]) - set(start_cycles))
+        busy = (
+            ", ".join(f"{u}:{o}" for u, o in ctx["executing"].items())
+            or "none"
+        )
+        states = ", ".join(
+            f"{k}={s}" for k, s in ctx["controller_states"].items()
+        )
+        starved = "; ".join(
+            f"{consumer} (on {key}) awaits net CC_{producer}"
+            for key, consumer, producer in ctx["starved_edges"]
+        )
+        detail = (
+            f"executing units: {busy}; pending ops: "
+            f"{list(ctx['pending_ops'])}; never started: {never_started}; "
+            f"controller states: {states}"
+        )
+        if starved:
+            detail += f"; starved: {starved}"
+        return detail
+
+    # Fault injectors that act in a bounded cycle window advertise the last
+    # cycle they may still fire; past it, a repeated configuration with no
+    # countdown in flight can never resolve (the step function is pure).
+    fault_horizon = getattr(system, "fault_horizon", -1)
+    previous_snapshot: "tuple | None" = None
     cycle = 0
     target = iterations * len(ops)
     total_done = 0
     while total_done < target:
         if cycle >= max_cycles:
-            raise SimulationError(
+            raise DeadlockError(
                 f"simulation exceeded {max_cycles} cycles "
                 f"({total_done}/{target} completions) — deadlock or "
-                f"livelock in the control unit"
+                f"livelock in the control unit; {deadlock_detail()}",
+                max_cycles=max_cycles,
+                **deadlock_context(),
             )
         # The CSG reports "done by now": true from the cycle the sampled
         # telescope level's delay is covered.  Two-level FSMs only look
@@ -138,6 +232,33 @@ def simulate(
             unit: (cycle - t0 + 1) >= duration
             for unit, (op, duration, t0) in executing.items()
         }
+        if monitors.deadlock:
+            # Quiescence watchdog: if the configuration and every CSG value
+            # repeat with no countdown left to flip (all reported done) and
+            # no fault window still open, every future step is identical.
+            # The completion count is part of the snapshot: under wrap-
+            # around pipelining a controller may legally complete-and-
+            # restart the same op every cycle at a fixed configuration —
+            # progress with a repeating config is not a deadlock.
+            snapshot = (
+                config,
+                tuple(sorted(unit_completions.items())),
+                total_done,
+            )
+            stable_inputs = all(unit_completions.values())
+            if (
+                snapshot == previous_snapshot
+                and stable_inputs
+                and cycle > fault_horizon
+            ):
+                raise DeadlockError(
+                    f"deadlock at cycle {cycle}: the control unit is "
+                    f"quiescent with {total_done}/{target} completions and "
+                    f"can never progress; {deadlock_detail()}",
+                    max_cycles=max_cycles,
+                    **deadlock_context(),
+                )
+            previous_snapshot = snapshot
         result = system.step(config, unit_completions)
         if trace is not None:
             trace.append(
@@ -150,21 +271,51 @@ def simulate(
                     completes=result.completes,
                 )
             )
-        for op in result.completes:
+        for op in sorted(result.completes):
             unit = bound.unit_of(op).name
             record = executing.get(unit)
             if record is None or record[0] != op:
-                raise SimulationError(
+                raise ProtocolError(
                     f"controller completed {op!r} but unit {unit!r} is not "
-                    f"executing it"
+                    f"executing it",
+                    kind="phantom-completion",
+                    cycle=cycle,
+                    op=op,
+                    unit=unit,
+                )
+            elapsed = cycle - record[2] + 1
+            if monitors.timing and elapsed < record[1]:
+                raise ProtocolError(
+                    f"premature completion: {op!r} on unit {unit!r} "
+                    f"completed after {elapsed} cycle(s) at cycle {cycle} "
+                    f"but its sampled telescope level needs {record[1]} — "
+                    f"the completion signal lied",
+                    kind="timing",
+                    cycle=cycle,
+                    op=op,
+                    unit=unit,
                 )
             del executing[unit]
             finish_cycles.setdefault(op, cycle + 1)
             completions[op] += 1
             if completions[op] <= iterations:
                 total_done += 1
-        for op in result.starts:
+        for op in sorted(result.starts):
             begin(op, cycle + 1)
+        if monitors.handshake and result.overruns:
+            edges = tuple(sorted(result.overruns))
+            listed = ", ".join(
+                f"{ctrl}: {producer}->{consumer}"
+                for ctrl, consumer, producer in edges
+            )
+            raise ProtocolError(
+                f"token overrun at cycle {cycle}: a completion pulse hit "
+                f"an already-latched arrival flag ({listed}) — a pulse "
+                f"must be consumed exactly once",
+                kind="overrun",
+                cycle=cycle,
+                edges=edges,
+            )
         overruns += len(result.overruns)
         config = result.config
         cycle += 1

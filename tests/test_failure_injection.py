@@ -1,16 +1,27 @@
 """Failure-injection tests: do the safety nets actually catch bugs?
 
-Each test deliberately breaks one layer — a controller FSM, the wiring,
+Each test deliberately breaks one layer — a completion net, the wiring,
 the datapath, a CSG — and asserts the corresponding checker (simulator
 deadlock detection, occupancy checking, datapath verification, FSM
 validation, CSG safety verification) reports it.  A reproduction whose
 checks cannot fail is not checking anything.
+
+The controller-level breakage goes through :mod:`repro.faults` injectors
+(the hand-rolled FSM mutations they replaced lived here first); the old
+assertions are kept verbatim as regression tests.
 """
 
 import pytest
 
-from repro.errors import FSMError, LogicError, SimulationError
-from repro.fsm.model import FSM, Transition, make_transition
+from repro.errors import (
+    DeadlockError,
+    FSMError,
+    LogicError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.faults import DroppedPulseFault, SpuriousPulseFault, inject
+from repro.fsm.model import FSM, make_transition
 from repro.resources import AllFastCompletion, AllSlowCompletion
 from repro.sim import ControllerSystem, simulate
 
@@ -27,74 +38,36 @@ def _mutate_fsm(fsm: FSM, transitions) -> FSM:
     )
 
 
-class TestControllerMutations:
+class TestControllerFaults:
     def test_dropped_completion_pulse_deadlocks(self, fig3_result):
-        """Remove a CC output: the consumer never fires → deadlock."""
-        dcu = fig3_result.distributed
-        victim_unit = None
-        victim_signal = None
-        for net in dcu.live_nets():
-            victim_unit = net.producer_unit
-            victim_signal = f"CC_{net.producer_op}"
-            break
-        fsm = dcu.controller(victim_unit)
-        broken = _mutate_fsm(
-            fsm,
-            (
-                Transition(
-                    source=t.source,
-                    target=t.target,
-                    guard=t.guard,
-                    outputs=frozenset(t.outputs - {victim_signal}),
-                    starts=t.starts,
-                    completes=t.completes,
-                    queries=t.queries,
-                )
-                for t in fsm.transitions
-            ),
+        """Cut a CC net: the consumer never fires → deadlock.
+
+        ``occurrence=None`` suppresses every pulse of the net — the exact
+        effect of the FSM mutation (deleting the CC output) this test used
+        before :mod:`repro.faults` existed.
+        """
+        edges = fig3_result.distributed_system().dependence_edges()
+        victim = sorted({producer for (_, _, producer) in edges})[0]
+        system = inject(
+            fig3_result.distributed_system(),
+            DroppedPulseFault(producer_op=victim, occurrence=None),
         )
-        controllers = dict(dcu.controllers)
-        controllers[victim_unit] = broken
-        system = ControllerSystem(
-            controllers,
-            consumes={
-                (key, op): fig3_result.bound.cross_unit_predecessors(op)
-                for key in controllers
-                for op in fig3_result.bound.ops_on_unit(key)
-                if fig3_result.bound.cross_unit_predecessors(op)
-            },
-        )
-        with pytest.raises(SimulationError, match="deadlock"):
+        with pytest.raises(SimulationError, match="deadlock") as excinfo:
             simulate(system, fig3_result.bound, AllFastCompletion())
+        assert isinstance(excinfo.value, DeadlockError)
+        assert victim in str(excinfo.value)
 
     def test_skipped_ready_wait_breaks_dataflow(self, fig3_result):
-        """Bypass a ready state (start without tokens): the datapath
-        verifier flags the premature start as a control bug."""
-        dcu = fig3_result.distributed
-        controllers = {}
-        for unit_name, fsm in dcu.controllers.items():
-            mutated = []
-            for t in fsm.transitions:
-                if t.source.startswith("R_") and t.source == t.target:
-                    # Ready self-loop now releases immediately.
-                    op = t.source[2:]
-                    mutated.append(
-                        Transition(
-                            source=t.source,
-                            target=f"S_{op}",
-                            guard=t.guard,
-                            outputs=t.outputs,
-                            starts=frozenset({op}),
-                            completes=t.completes,
-                            queries=t.queries,
-                        )
-                    )
-                else:
-                    mutated.append(t)
-            controllers[unit_name] = _mutate_fsm(fsm, mutated)
-        from repro.sim import system_from_bound
-
-        system = system_from_bound(fig3_result.bound, controllers)
+        """Fake a token before the producer is done: the consumer starts
+        without its operand and the datapath verifier flags the premature
+        start as a control bug — same assertion as the old hand-rolled
+        ready-state-bypass mutation."""
+        edges = fig3_result.distributed_system().dependence_edges()
+        victim = sorted({producer for (_, _, producer) in edges})[0]
+        system = inject(
+            fig3_result.distributed_system(),
+            SpuriousPulseFault(producer_op=victim, cycle=0),
+        )
         inputs = {n: i + 1 for i, n in enumerate(fig3_result.dfg.inputs)}
         with pytest.raises(SimulationError, match="control bug"):
             simulate(
@@ -106,7 +79,7 @@ class TestControllerMutations:
 
     def test_double_occupancy_detected(self, fig2_result):
         """A rogue controller claiming a second op on a busy unit trips
-        the executing-record check."""
+        the occupancy monitor at the start cycle, naming both ops."""
         dcu = fig2_result.distributed
         bound = fig2_result.bound
         unit_name = next(
@@ -126,6 +99,39 @@ class TestControllerMutations:
                 make_transition("D", "D", {}),
             ),
             initial_starts=frozenset({second_op}),
+        )
+        controllers = dict(dcu.controllers)
+        controllers["rogue"] = rogue
+        system = ControllerSystem(controllers, consumes={})
+        with pytest.raises(
+            SimulationError, match="occupancy violation"
+        ) as excinfo:
+            simulate(system, bound, AllFastCompletion())
+        assert isinstance(excinfo.value, ProtocolError)
+        assert unit_name in str(excinfo.value)
+        assert second_op in str(excinfo.value)
+
+    def test_phantom_completion_detected(self, fig2_result):
+        """A rogue controller completing an op it never started trips the
+        executing-record check (the pre-monitor 'not executing' net)."""
+        dcu = fig2_result.distributed
+        bound = fig2_result.bound
+        unit_name = next(
+            u.name
+            for u in bound.used_units()
+            if len(bound.ops_on_unit(u.name)) >= 2
+        )
+        second_op = bound.ops_on_unit(unit_name)[1]
+        rogue = FSM(
+            name="rogue",
+            states=("E", "D"),
+            initial="E",
+            inputs=(),
+            outputs=(),
+            transitions=(
+                make_transition("E", "D", {}, completes=(second_op,)),
+                make_transition("D", "D", {}),
+            ),
         )
         controllers = dict(dcu.controllers)
         controllers["rogue"] = rogue
