@@ -16,6 +16,8 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .faults.campaign import FaultCampaignReport
+    from .perf.cache import SimulationCache
+    from .sim.runner import LatencyStatistics
 
 from .analysis.latency import LatencyComparison, compare_latencies
 from .binding.binder import BoundDataflowGraph, bind
@@ -29,7 +31,7 @@ from .fsm.model import FSM
 from .fsm.product import build_cent_fsm
 from .fsm.taubm import derive_cent_sync_fsm
 from .resources.allocation import ResourceAllocation
-from .errors import SchedulingError
+from .errors import SchedulingError, SimulationError
 from .scheduling.exact import exact_schedule
 from .scheduling.list_scheduler import list_schedule
 from .scheduling.order_based import order_based_schedule
@@ -78,12 +80,54 @@ class SynthesisResult:
         """The Table-2 latency comparison for this design."""
         return compare_latencies(self.bound, self.taubm, ps=ps, **kwargs)
 
+    def monte_carlo_latency(
+        self,
+        p: float = 0.7,
+        trials: int = 200,
+        seed: int = 0,
+        style: str = "dist",
+        workers: "int | None" = 1,
+        cache: "SimulationCache | None" = None,
+    ) -> "LatencyStatistics":
+        """Monte-Carlo first-iteration latency of one controller style.
+
+        ``style`` is ``"dist"``, ``"cent-sync"`` or ``"cent"``;
+        ``workers`` fans trials out over the parallel engine
+        (:mod:`repro.perf`) with byte-identical statistics, and
+        ``cache`` short-circuits previously simulated trials.
+        """
+        from .sim.runner import monte_carlo_latency
+
+        return monte_carlo_latency(
+            self.system(style),
+            self.bound,
+            p=p,
+            trials=trials,
+            seed=seed,
+            workers=workers,
+            cache=cache,
+        )
+
+    def system(self, style: str = "dist") -> ControllerSystem:
+        """Executable controller system by style name."""
+        if style == "dist":
+            return self.distributed_system()
+        if style == "cent-sync":
+            return self.cent_sync_system()
+        if style == "cent":
+            return self.cent_system()
+        raise SimulationError(
+            f"unknown controller style {style!r}; choose 'dist', "
+            f"'cent-sync' or 'cent'"
+        )
+
     def fault_campaign(
         self,
         trials: int = 100,
         seed: int = 0,
         p: float = 0.7,
         styles: Sequence[str] = ("dist", "cent-sync"),
+        workers: "int | None" = 1,
     ) -> "FaultCampaignReport":
         """Run a seeded fault-injection campaign on this design.
 
@@ -91,11 +135,13 @@ class SynthesisResult:
         classifies each run as detected / tolerated / silent — see
         :mod:`repro.faults`.  The report compares the distributed unit's
         vulnerability against the synchronized centralized baseline.
+        ``workers`` parallelizes trials without changing the report.
         """
         from .faults.campaign import run_campaign
 
         return run_campaign(
-            self, trials=trials, seed=seed, p=p, styles=styles
+            self, trials=trials, seed=seed, p=p, styles=styles,
+            workers=workers,
         )
 
 

@@ -6,10 +6,12 @@ Gives the library's main flows a shell-level surface::
     python -m repro synthesize diffeq
     python -m repro synthesize fir5 --allocation "mul:3T,add:2" --verilog out.v
     python -m repro simulate fir5 --p 0.7 --trace --vcd fir5.vcd
-    python -m repro faults diffeq --trials 100 --seed 0
+    python -m repro faults diffeq --trials 100 --seed 0 -j 4
     python -m repro table1
     python -m repro table2
     python -m repro distribution fir5 --p 0.7
+    python -m repro experiments multilevel physical -j 4
+    python -m repro bench --quick -o BENCH_core.json
 """
 
 from __future__ import annotations
@@ -148,6 +150,7 @@ def _cmd_faults(args) -> int:
         p=args.p,
         styles=styles,
         benchmark=entry.name,
+        workers=args.workers,
     )
     print(report.render())
     if args.json:
@@ -191,6 +194,70 @@ def _cmd_report(args) -> int:
     return 0
 
 
+#: experiment drivers runnable via ``repro experiments``; ``True`` marks
+#: drivers that accept a ``workers`` argument
+_EXPERIMENT_DRIVERS = {
+    "psweep": ("repro.experiments.ablations", "run_psweep", False),
+    "sdld": ("repro.experiments.ablations", "run_sdld_sweep", False),
+    "opdist": ("repro.experiments.ablations", "run_opdist", False),
+    "pipeline": ("repro.experiments.ablations", "run_pipeline", False),
+    "csg": ("repro.experiments.ablations", "run_csg_sweep", False),
+    "multilevel": ("repro.experiments.ablations", "run_multilevel", True),
+    "physical": ("repro.experiments.ablations", "run_physical", True),
+    "encoding": (
+        "repro.experiments.ablations", "run_encoding_ablation", False
+    ),
+    "communication": (
+        "repro.experiments.ablations", "run_communication_binding", False
+    ),
+    "activity": ("repro.experiments.ablations", "run_activity", False),
+    "fig4": ("repro.experiments.figures", "run_fig4", True),
+}
+
+
+def _cmd_experiments(args) -> int:
+    import importlib
+
+    names = args.experiments or sorted(_EXPERIMENT_DRIVERS)
+    for name in names:
+        if name not in _EXPERIMENT_DRIVERS:
+            known = ", ".join(sorted(_EXPERIMENT_DRIVERS))
+            print(
+                f"error: unknown experiment {name!r}; choose from {known}",
+                file=sys.stderr,
+            )
+            return 1
+    first = True
+    for name in names:
+        module_name, func_name, takes_workers = _EXPERIMENT_DRIVERS[name]
+        runner = getattr(importlib.import_module(module_name), func_name)
+        kwargs = {"workers": args.workers} if takes_workers else {}
+        if not first:
+            print()
+        first = False
+        print(runner(**kwargs).render())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .perf.bench import CORE_BENCHMARKS, run_bench
+
+    report = run_bench(
+        benchmarks=(
+            tuple(args.benchmarks) if args.benchmarks else CORE_BENCHMARKS
+        ),
+        quick=args.quick,
+        trials=args.trials,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.output:
+        report.write(args.output)
+        print(f"\nwrote benchmark report to {args.output}")
+    return 0
+
+
 def _cmd_distribution(args) -> int:
     __, result = _synthesize_from_args(args)
     comparison = compare_distributions(result.bound, result.taubm, p=args.p)
@@ -211,6 +278,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "benchmarks", help="list the registered benchmark DFGs"
     ).set_defaults(func=_cmd_benchmarks)
+
+    def add_workers_arg(p):
+        p.add_argument(
+            "-j",
+            "--workers",
+            type=int,
+            default=1,
+            help=(
+                "parallel worker processes (1 = serial, 0 = auto); "
+                "results are identical for any value"
+            ),
+        )
 
     def add_design_args(p):
         p.add_argument("benchmark", help="registered benchmark name")
@@ -273,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero on any silent corruption escape",
     )
+    add_workers_arg(p_flt)
     p_flt.set_defaults(func=_cmd_faults)
 
     p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
@@ -300,6 +380,54 @@ def build_parser() -> argparse.ArgumentParser:
     add_design_args(p_dist)
     p_dist.add_argument("--p", type=float, default=0.7)
     p_dist.set_defaults(func=_cmd_distribution)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="run extension experiments (ablations/sweeps) by name",
+    )
+    p_exp.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=(
+            "experiment names (default: all): "
+            + ", ".join(sorted(_EXPERIMENT_DRIVERS))
+        ),
+    )
+    add_workers_arg(p_exp)
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the core flows and persist the perf trajectory",
+    )
+    p_bench.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="benchmark",
+        default=None,
+        help="registered benchmark names (default: diffeq, ar_lattice)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke scale: fewer trials, one timing round",
+    )
+    p_bench.add_argument(
+        "--trials", type=int, default=400, help="Monte-Carlo trials"
+    )
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "-o", "--output", help="write the JSON report here (BENCH_core.json)"
+    )
+    p_bench.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=4,
+        help="workers for the parallel Monte-Carlo column (0 = auto)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

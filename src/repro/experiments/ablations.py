@@ -394,19 +394,29 @@ class MultiLevelResult:
         )
 
 
+def _multilevel_trial(system, bound, probabilities, seed, trial) -> int:
+    """One categorical Monte-Carlo trial (module-level for pickling)."""
+    from ..sim.simulator import simulate
+
+    model = CategoricalCompletion(probabilities)
+    return simulate(system, bound, model, seed=seed + trial).cycles
+
+
 def run_multilevel(
     benchmark_name: str = "fir5",
     level_delays_ns: Sequence[float] = (15.0, 30.0, 45.0),
     level_probabilities: Sequence[float] = (0.6, 0.3, 0.1),
     trials: int = 300,
     seed: int = 0,
+    workers: "int | None" = 1,
 ) -> MultiLevelResult:
     """Synthesize a benchmark on 3-level VCAUs and compare schemes.
 
     Exact expectations come from categorical duration enumeration; a
     Monte-Carlo run of the cycle-accurate simulator with
     :class:`~repro.resources.completion.CategoricalCompletion` cross-checks
-    the distributed number.
+    the distributed number.  ``workers`` parallelizes the Monte-Carlo
+    trials (the result is identical for any worker count).
     """
     from ..analysis.latency import (
         DistLatencyEvaluator,
@@ -414,7 +424,6 @@ def run_multilevel(
         exact_expected_latency_categorical,
     )
     from ..core.ops import ResourceClass
-    from ..sim.simulator import simulate
 
     entry = benchmark(benchmark_name)
     dfg = entry.dfg()
@@ -438,13 +447,24 @@ def run_multilevel(
     sync_expected = exact_expected_latency_categorical(
         result.taubm.cycles_for_durations, table
     )
-    model = CategoricalCompletion(tuple(level_probabilities))
+    from functools import partial
+
+    from ..perf.engine import parallel_map
+
     system = result.distributed_system()
-    total = 0
-    for trial in range(trials):
-        total += simulate(
-            system, result.bound, model, seed=seed + trial
-        ).cycles
+    total = sum(
+        parallel_map(
+            partial(
+                _multilevel_trial,
+                system,
+                result.bound,
+                tuple(level_probabilities),
+                seed,
+            ),
+            range(trials),
+            workers=workers,
+        )
+    )
     max_extension = max(
         sum(1 for s in fsm.states if s.startswith("SX"))
         for fsm in result.distributed.controllers.values()
@@ -489,6 +509,23 @@ class PhysicalRunResult:
         )
 
 
+def _physical_trial(
+    system, bound, model, dfg, distribution, tau_ops, seed, trial
+) -> tuple[int, int, int]:
+    """One operand-driven trial: (cycles, fast hits, fast draws)."""
+    from ..sim.simulator import simulate
+    from ..sim.stimulus import input_streams
+
+    streams = input_streams(dfg, distribution, iterations=1, seed=seed + trial)
+    sim = simulate(system, bound, model, seed=seed + trial, inputs=streams)
+    hits = 0
+    draws = 0
+    for op in tau_ops:
+        hits += sum(sim.fast_outcomes[op])
+        draws += len(sim.fast_outcomes[op])
+    return sim.cycles, hits, draws
+
+
 def run_physical(
     benchmark_name: str = "diffeq",
     width: int = 8,
@@ -496,6 +533,7 @@ def run_physical(
     small_bits: "int | None" = 4,
     trials: int = 120,
     seed: int = 0,
+    workers: "int | None" = 1,
 ) -> PhysicalRunResult:
     """Drive a design with real operands through a synthesized CSG.
 
@@ -506,13 +544,15 @@ def run_physical(
     execution, and compare the observed mean latency against the
     analytic Bernoulli(P) prediction at the *measured* P.
     """
+    from functools import partial
+
     from ..analysis.latency import (
         DistLatencyEvaluator,
         exact_expected_latency,
     )
+    from ..perf.engine import parallel_map
     from ..resources.completion import OperandCompletion
-    from ..sim.simulator import simulate
-    from ..sim.stimulus import input_streams, small_values, uniform_values
+    from ..sim.stimulus import small_values, uniform_values
 
     mult = ArrayMultiplier(width=width)
     sd = mult.base_delay_ns + sd_fraction * (
@@ -531,24 +571,23 @@ def run_physical(
         if small_bits is not None
         else uniform_values(width)
     )
-    total_cycles = 0
-    fast_hits = 0
-    fast_draws = 0
-    for trial in range(trials):
-        streams = input_streams(
-            result.dfg, distribution, iterations=1, seed=seed + trial
-        )
-        sim = simulate(
+    outcomes = parallel_map(
+        partial(
+            _physical_trial,
             result.distributed_system(),
             result.bound,
             model,
-            seed=seed + trial,
-            inputs=streams,
-        )
-        total_cycles += sim.cycles
-        for op in result.bound.telescopic_ops():
-            fast_hits += sum(sim.fast_outcomes[op])
-            fast_draws += len(sim.fast_outcomes[op])
+            result.dfg,
+            distribution,
+            result.bound.telescopic_ops(),
+            seed,
+        ),
+        range(trials),
+        workers=workers,
+    )
+    total_cycles = sum(cycles for cycles, _, _ in outcomes)
+    fast_hits = sum(hits for _, hits, _ in outcomes)
+    fast_draws = sum(draws for _, _, draws in outcomes)
     measured_p = fast_hits / fast_draws if fast_draws else 1.0
     evaluator = DistLatencyEvaluator(result.bound)
     predicted = exact_expected_latency(

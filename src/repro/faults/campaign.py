@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Mapping, Sequence
 
 from ..errors import (
@@ -398,6 +399,82 @@ def _classify(exc: SimulationError) -> "tuple[str, str | None]":
     return "detected", "simulator"
 
 
+def _run_trial(
+    result,
+    seed: int,
+    p: float,
+    inputs: Mapping[str, int],
+    task: tuple[str, int, int],
+) -> FaultTrialRecord:
+    """Execute one fully seeded faulty trial (process-pool safe).
+
+    ``task`` is ``(style, span, trial)``.  Everything the trial touches —
+    fault choice, simulation seed, input values — derives from those plus
+    the campaign arguments, so the same task produces the same record in
+    any process.  The fault menu is rebuilt per trial because its entries
+    are closures (unpicklable); menu construction is cheap next to the
+    three simulations a trial runs.
+    """
+    style, span, trial = task
+    bound = result.bound
+    monitors = MonitorConfig(handshake=True)
+    probe = _system_for(result, style)
+    menu = _fault_menu(probe, bound, span)
+    rng = random.Random(f"{seed}:{style}:{trial}")
+    fault = menu[rng.randrange(len(menu))](rng)
+    sim_seed = rng.randrange(2**32)
+    clean = simulate(
+        _system_for(result, style),
+        bound,
+        BernoulliCompletion(p),
+        seed=sim_seed,
+        inputs=inputs,
+    )
+    system = _system_for(result, style)
+    if fault.injector is not None:
+        system = inject(system, fault.injector)
+    completion: CompletionModel = BernoulliCompletion(p)
+    if fault.wrap_completion is not None:
+        completion = fault.wrap_completion(completion)
+    outcome: str
+    detector: "str | None"
+    diagnostic = ""
+    cycles: "int | None" = None
+    delta: "int | None" = None
+    try:
+        faulty = simulate(
+            system,
+            bound,
+            completion,
+            seed=sim_seed,
+            inputs=inputs,
+            monitors=monitors,
+        )
+    except SimulationError as exc:
+        outcome, detector = _classify(exc)
+        diagnostic = str(exc)
+    else:
+        outcome, detector = "tolerated", None
+        cycles = faulty.cycles
+        delta = faulty.cycles - clean.cycles
+        diagnostic = (
+            f"completed in {faulty.cycles} cycles "
+            f"({delta:+d} vs clean), results bit-correct"
+        )
+    return FaultTrialRecord(
+        trial=trial,
+        style=style,
+        fault_kind=fault.kind,
+        fault=fault.description,
+        target=fault.target,
+        outcome=outcome,
+        detector=detector,
+        diagnostic=diagnostic,
+        cycles=cycles,
+        latency_delta=delta,
+    )
+
+
 def run_campaign(
     result,
     *,
@@ -406,6 +483,7 @@ def run_campaign(
     p: float = 0.7,
     styles: Sequence[str] = STYLES,
     benchmark: "str | None" = None,
+    workers: "int | None" = 1,
 ) -> FaultCampaignReport:
     """Sweep ``trials`` seeded faults per style over one synthesis result.
 
@@ -413,16 +491,21 @@ def run_campaign(
     executes with the value-computing datapath and all runtime monitors
     (strict handshake included); a clean twin of each trial provides the
     latency baseline for tolerated faults.
+
+    ``workers > 1`` fans the trials out over a process pool via
+    :func:`~repro.perf.engine.parallel_map`; every trial is a pure
+    function of ``(seed, style, trial)``, so the report — including its
+    JSON rendering — is byte-identical to the serial run.
     """
+    from ..perf.engine import parallel_map
+
     if trials < 1:
         raise SimulationError("a fault campaign needs >= 1 trial")
     bound = result.bound
     name = benchmark if benchmark is not None else bound.dfg.name
     inputs = _deterministic_inputs(bound)
-    monitors = MonitorConfig(handshake=True)
-    records: list[FaultTrialRecord] = []
+    tasks: list[tuple[str, int, int]] = []
     for style in styles:
-        probe = _system_for(result, style)
         calibration = simulate(
             _system_for(result, style),
             bound,
@@ -431,63 +514,12 @@ def run_campaign(
             inputs=inputs,
         )
         span = max(calibration.cycles, 4)
-        menu = _fault_menu(probe, bound, span)
-        for trial in range(trials):
-            rng = random.Random(f"{seed}:{style}:{trial}")
-            fault = menu[rng.randrange(len(menu))](rng)
-            sim_seed = rng.randrange(2**32)
-            clean = simulate(
-                _system_for(result, style),
-                bound,
-                BernoulliCompletion(p),
-                seed=sim_seed,
-                inputs=inputs,
-            )
-            system = _system_for(result, style)
-            if fault.injector is not None:
-                system = inject(system, fault.injector)
-            completion: CompletionModel = BernoulliCompletion(p)
-            if fault.wrap_completion is not None:
-                completion = fault.wrap_completion(completion)
-            outcome: str
-            detector: "str | None"
-            diagnostic = ""
-            cycles: "int | None" = None
-            delta: "int | None" = None
-            try:
-                faulty = simulate(
-                    system,
-                    bound,
-                    completion,
-                    seed=sim_seed,
-                    inputs=inputs,
-                    monitors=monitors,
-                )
-            except SimulationError as exc:
-                outcome, detector = _classify(exc)
-                diagnostic = str(exc)
-            else:
-                outcome, detector = "tolerated", None
-                cycles = faulty.cycles
-                delta = faulty.cycles - clean.cycles
-                diagnostic = (
-                    f"completed in {faulty.cycles} cycles "
-                    f"({delta:+d} vs clean), results bit-correct"
-                )
-            records.append(
-                FaultTrialRecord(
-                    trial=trial,
-                    style=style,
-                    fault_kind=fault.kind,
-                    fault=fault.description,
-                    target=fault.target,
-                    outcome=outcome,
-                    detector=detector,
-                    diagnostic=diagnostic,
-                    cycles=cycles,
-                    latency_delta=delta,
-                )
-            )
+        tasks.extend((style, span, trial) for trial in range(trials))
+    records = parallel_map(
+        partial(_run_trial, result, seed, p, inputs),
+        tasks,
+        workers=workers,
+    )
     return FaultCampaignReport(
         benchmark=name,
         trials=trials,
@@ -505,6 +537,7 @@ def run_benchmark_campaign(
     p: float = 0.7,
     styles: Sequence[str] = STYLES,
     allocation: "str | None" = None,
+    workers: "int | None" = 1,
 ) -> FaultCampaignReport:
     """Synthesize a registered benchmark and run a campaign on it."""
     from ..api import synthesize
@@ -522,4 +555,5 @@ def run_benchmark_campaign(
         p=p,
         styles=styles,
         benchmark=entry.name,
+        workers=workers,
     )

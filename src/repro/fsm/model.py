@@ -135,6 +135,17 @@ class FSM:
                     f"transition {t} asserts undeclared outputs "
                     f"{sorted(t.outputs - output_set)}"
                 )
+        # Per-state transition index: ``step`` runs once per controller
+        # per simulated clock edge, so the linear scan over *all*
+        # transitions it replaces dominated large simulations.
+        by_source: dict[str, list[Transition]] = {s: [] for s in self.states}
+        for t in self.transitions:
+            by_source[t.source].append(t)
+        object.__setattr__(
+            self,
+            "_by_source",
+            {s: tuple(ts) for s, ts in by_source.items()},
+        )
 
     # -- structure -------------------------------------------------------
     @property
@@ -147,7 +158,11 @@ class FSM:
 
     def transitions_from(self, state: str) -> tuple[Transition, ...]:
         """Outgoing transitions of a state, declaration order."""
-        return tuple(t for t in self.transitions if t.source == state)
+        by_source = self._by_source  # type: ignore[attr-defined]
+        try:
+            return by_source[state]
+        except KeyError:
+            return ()
 
     def referenced_inputs(self, state: str) -> tuple[str, ...]:
         """Inputs appearing in some guard of a state, sorted."""

@@ -1,0 +1,33 @@
+"""Deterministic parallel execution engine, result cache and bench.
+
+``repro.perf`` is the scaling layer under every statistical experiment:
+
+* :mod:`~repro.perf.engine` — :func:`parallel_map` fans independent
+  trials out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  with chunked submission and a guaranteed serial fallback; per-trial
+  seeds come from :func:`derive_seed`, a stable hash of
+  ``(base_seed, trial)``, so parallel output is byte-identical to
+  serial output.
+* :mod:`~repro.perf.cache` — a content-addressed simulation-result
+  cache keyed by (design fingerprint, completion model, seed,
+  iterations) that makes figure/sweep regeneration incremental.
+* :mod:`~repro.perf.bench` — the ``repro bench`` harness that times
+  synthesis, simulation, Monte-Carlo (serial vs parallel) and exact
+  expectation on the registered benchmarks and persists the perf
+  trajectory in ``BENCH_core.json``.
+"""
+
+from .cache import SimulationCache, design_fingerprint, simulate_cached
+from .engine import derive_seed, parallel_map, resolve_workers
+from .bench import BenchReport, run_bench
+
+__all__ = [
+    "BenchReport",
+    "SimulationCache",
+    "derive_seed",
+    "design_fingerprint",
+    "parallel_map",
+    "resolve_workers",
+    "run_bench",
+    "simulate_cached",
+]

@@ -1,0 +1,190 @@
+"""The ``repro bench`` harness: measure and persist the perf trajectory.
+
+Times the library's hot paths on registered benchmarks — end-to-end
+synthesis, one cycle-accurate simulation, Monte-Carlo latency serial vs
+parallel, and the exact expected-latency enumeration — and renders the
+measurements as a JSON document with deterministic structure (sorted
+keys, fixed rounding, stable section names).  ``BENCH_core.json`` at the
+repository root is the committed trajectory: every perf-affecting PR
+regenerates it, so a regression shows up as a diff.
+
+The *timing* values naturally vary run to run; every *result* value in
+the document (cycle counts, expectations, Monte-Carlo means) is
+deterministic and doubles as a cross-machine golden check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .engine import resolve_workers
+
+#: benchmarks the core bench sweeps (paper Table-2 designs; the
+#: AR-lattice is the heaviest — 8 TAU ops, 65536-term exact expectation)
+CORE_BENCHMARKS = ("diffeq", "ar_lattice")
+
+
+def _time_call(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time and the (last) return value."""
+    best = float("inf")
+    value: object = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best, value
+
+
+def _round(seconds: float) -> float:
+    return round(seconds, 6)
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One full bench run, renderable as byte-stable JSON."""
+
+    data: dict
+
+    def to_json(self) -> str:
+        return json.dumps(self.data, indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    def render(self) -> str:
+        lines = [
+            f"repro bench — trials={self.data['trials']}, "
+            f"workers={self.data['workers']}, seed={self.data['seed']}"
+            + (" (quick)" if self.data["quick"] else "")
+        ]
+        for name in sorted(self.data["benchmarks"]):
+            row = self.data["benchmarks"][name]
+            mc = row["monte_carlo"]
+            lines.append(
+                f"  {name}: synth {1e3 * row['synthesize_s']:.1f} ms, "
+                f"sim {1e3 * row['simulate_s']:.2f} ms, "
+                f"MC {mc['serial_s']:.3f} s serial / "
+                f"{mc['parallel_s']:.3f} s @ {self.data['workers']} "
+                f"workers (×{mc['speedup']:.2f}), "
+                f"mean {mc['mean_cycles']:.3f} cycles"
+            )
+            exact = row.get("exact_expectation")
+            if exact is not None:
+                lines.append(
+                    f"    exact E[latency] {exact['value']:.4f} cycles "
+                    f"in {exact['seconds']:.3f} s "
+                    f"({exact['assignments']} assignments)"
+                )
+        return "\n".join(lines)
+
+
+def run_bench(
+    benchmarks: Sequence[str] = CORE_BENCHMARKS,
+    *,
+    quick: bool = False,
+    trials: int = 400,
+    workers: "int | None" = 4,
+    seed: int = 0,
+    p: float = 0.7,
+    repeats: int = 3,
+) -> BenchReport:
+    """Time the core flows on ``benchmarks`` and build the report.
+
+    ``quick`` shrinks the Monte-Carlo trial count and timing repeats to
+    CI-smoke scale and skips exact expectations wider than 12 TAU ops;
+    the JSON structure stays identical so quick and full runs diff
+    cleanly.
+    """
+    from ..analysis.latency import DistLatencyEvaluator, exact_expected_latency
+    from ..api import synthesize
+    from ..benchmarks.registry import benchmark
+    from ..sim.runner import monte_carlo_latency
+    from ..sim.simulator import simulate
+    from ..resources.completion import BernoulliCompletion
+
+    if quick:
+        trials = min(trials, 60)
+        repeats = 1
+    workers = resolve_workers(workers)
+    rows: dict[str, dict] = {}
+    for name in benchmarks:
+        entry = benchmark(name)
+        dfg = entry.dfg()
+        allocation = entry.allocation()
+        synth_s, result = _time_call(
+            lambda: synthesize(dfg, allocation), repeats
+        )
+        system = result.distributed_system()
+        model = BernoulliCompletion(p)
+        sim_s, sim = _time_call(
+            lambda: simulate(system, result.bound, model, seed=seed),
+            max(repeats, 3),
+        )
+        serial_s, serial_stats = _time_call(
+            lambda: monte_carlo_latency(
+                system, result.bound, p=p, trials=trials, seed=seed,
+                workers=1,
+            ),
+            repeats,
+        )
+        parallel_s, parallel_stats = _time_call(
+            lambda: monte_carlo_latency(
+                system, result.bound, p=p, trials=trials, seed=seed,
+                workers=workers,
+            ),
+            repeats,
+        )
+        if parallel_stats != serial_stats:  # pragma: no cover - invariant
+            raise AssertionError(
+                f"parallel Monte-Carlo diverged from serial on {name!r}"
+            )
+        row = {
+            "synthesize_s": _round(synth_s),
+            "simulate_s": _round(sim_s),
+            "simulated_cycles": sim.cycles,
+            "monte_carlo": {
+                "trials": trials,
+                "serial_s": _round(serial_s),
+                "parallel_s": _round(parallel_s),
+                "speedup": round(serial_s / max(parallel_s, 1e-9), 3),
+                "mean_cycles": round(serial_stats.mean, 6),
+                "p95_cycles": round(serial_stats.p95, 6),
+            },
+        }
+        tau_ops = result.bound.telescopic_ops()
+        if not (quick and len(tau_ops) > 12):
+            evaluator = DistLatencyEvaluator(result.bound)
+            exact_s, value = _time_call(
+                lambda: exact_expected_latency(evaluator, tau_ops, p),
+                repeats,
+            )
+            row["exact_expectation"] = {
+                "seconds": _round(exact_s),
+                "value": round(float(value), 6),
+                "assignments": 2 ** len(tau_ops),
+            }
+        rows[name] = row
+    data = {
+        "schema": 1,
+        "quick": quick,
+        "trials": trials,
+        "workers": workers,
+        "seed": seed,
+        "p": p,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": sys.implementation.name,
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+        "benchmarks": rows,
+    }
+    return BenchReport(data=data)

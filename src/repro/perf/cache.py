@@ -1,0 +1,260 @@
+"""Content-addressed simulation-result cache.
+
+Regenerating a figure or sweep re-runs exactly the simulations that ran
+last time: same design, same completion model, same seed, same
+iteration count.  The cache turns that repetition into a lookup.  Keys
+are SHA-256 digests over
+
+* the **design fingerprint** — the serialized dataflow graph, the
+  allocation (unit names, kinds, level delays), the binding and the
+  execution order,
+* the **controller fingerprint** — which controller system (its keys
+  and FSM structure) drives the run,
+* the **completion model fingerprint** — type and parameters,
+* ``seed`` and ``iterations``.
+
+A key therefore changes whenever anything that could change the outcome
+changes; two processes always derive the same key for the same run
+(nothing hashed depends on ``PYTHONHASHSEED`` or object identity).
+
+Entries store the cheap, deterministic subset of a
+:class:`~repro.sim.simulator.SimulationResult` (cycle counts, per-op
+outcomes — never traces or datapaths), JSON-serializable so a cache can
+persist to a directory and survive across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import TYPE_CHECKING, Mapping
+
+from ..serialize import dfg_to_dict
+from ..sim.simulator import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..binding.binder import BoundDataflowGraph
+    from ..resources.completion import CompletionModel
+    from ..sim.controllers import ControllerSystem
+
+
+def design_fingerprint(bound: "BoundDataflowGraph") -> str:
+    """Stable digest of a bound design (DFG + allocation + binding)."""
+    units = [
+        {
+            "name": unit.name,
+            "class": unit.resource_class.value,
+            "telescopic": unit.is_telescopic,
+            "levels": list(unit.level_delays_ns),
+        }
+        for unit in bound.allocation
+    ]
+    payload = {
+        "dfg": dfg_to_dict(bound.dfg),
+        "units": units,
+        "clock_ns": bound.allocation.clock_period_ns(),
+        "binding": dict(sorted(bound.binding.items())),
+        "edges": sorted(bound.execution_edges()),
+    }
+    return _digest(payload)
+
+
+def system_fingerprint(system: "ControllerSystem") -> str:
+    """Stable digest of a controller system's keys and FSM structure."""
+    payload = {
+        "keys": list(system.keys),
+        "edges": list(system.dependence_edges()),
+        "fsms": [
+            {
+                "name": fsm.name,
+                "states": list(fsm.states),
+                "initial": fsm.initial,
+                "transitions": [str(t) for t in fsm.transitions],
+                "initial_starts": sorted(fsm.initial_starts),
+            }
+            for fsm in (system.fsm(key) for key in system.keys)
+        ],
+    }
+    return _digest(payload)
+
+
+def model_fingerprint(model: "CompletionModel") -> str:
+    """Stable digest of a completion model's type and parameters."""
+    return _digest(_model_payload(model))
+
+
+def _model_payload(model: "CompletionModel") -> dict:
+    payload: dict = {"type": type(model).__qualname__}
+    for name, value in sorted(vars(model).items()):
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            payload[name] = value
+        elif isinstance(value, (tuple, list)):
+            payload[name] = [repr(v) for v in value]
+        elif isinstance(value, Mapping):
+            payload[name] = {
+                str(k): repr(v) for k, v in sorted(value.items())
+            }
+        else:
+            payload[name] = repr(value)
+    return payload
+
+
+def _digest(payload: object) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _result_to_dict(result: SimulationResult) -> dict:
+    return {
+        "cycles": result.cycles,
+        "clock_ns": result.clock_ns,
+        "start_cycles": dict(sorted(result.start_cycles.items())),
+        "finish_cycles": dict(sorted(result.finish_cycles.items())),
+        "iteration_finish_cycles": list(result.iteration_finish_cycles),
+        "fast_outcomes": {
+            op: list(v) for op, v in sorted(result.fast_outcomes.items())
+        },
+        "level_outcomes": {
+            op: list(v) for op, v in sorted(result.level_outcomes.items())
+        },
+        "token_overruns": result.token_overruns,
+    }
+
+
+def _result_from_dict(data: Mapping) -> SimulationResult:
+    return SimulationResult(
+        cycles=int(data["cycles"]),
+        clock_ns=float(data["clock_ns"]),
+        start_cycles={
+            k: int(v) for k, v in data["start_cycles"].items()
+        },
+        finish_cycles={
+            k: int(v) for k, v in data["finish_cycles"].items()
+        },
+        iteration_finish_cycles=tuple(
+            int(v) for v in data["iteration_finish_cycles"]
+        ),
+        fast_outcomes={
+            op: tuple(bool(b) for b in v)
+            for op, v in data["fast_outcomes"].items()
+        },
+        level_outcomes={
+            op: tuple(int(b) for b in v)
+            for op, v in data["level_outcomes"].items()
+        },
+        token_overruns=int(data["token_overruns"]),
+    )
+
+
+class SimulationCache:
+    """In-memory, optionally directory-backed simulation result cache.
+
+    ``path=None`` keeps entries in-process only; with a directory path
+    every entry is additionally written as ``<key>.json`` and found
+    again by any later process — regenerating a report after touching
+    one benchmark re-simulates only that benchmark.
+    """
+
+    def __init__(self, path: "str | None" = None) -> None:
+        self._memory: dict[str, SimulationResult] = {}
+        self._path = path
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def key(
+        self,
+        system: "ControllerSystem",
+        bound: "BoundDataflowGraph",
+        model: "CompletionModel",
+        *,
+        seed: int,
+        iterations: int,
+    ) -> str:
+        """Content address of one simulation run."""
+        return _digest(
+            {
+                "design": design_fingerprint(bound),
+                "system": system_fingerprint(system),
+                "model": _model_payload(model),
+                "seed": int(seed),
+                "iterations": int(iterations),
+            }
+        )
+
+    def get(self, key: str) -> "SimulationResult | None":
+        result = self._memory.get(key)
+        if result is None and self._path is not None:
+            file_path = os.path.join(self._path, f"{key}.json")
+            if os.path.exists(file_path):
+                with open(file_path) as handle:
+                    result = _result_from_dict(json.load(handle))
+                self._memory[key] = result
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        stored = SimulationResult(**_result_to_dict_kwargs(result))
+        self._memory[key] = stored
+        if self._path is not None:
+            file_path = os.path.join(self._path, f"{key}.json")
+            with open(file_path, "w") as handle:
+                json.dump(
+                    _result_to_dict(stored), handle, sort_keys=True
+                )
+
+
+def _result_to_dict_kwargs(result: SimulationResult) -> dict:
+    """Strip trace/datapath so cached entries stay value-only."""
+    return {
+        "cycles": result.cycles,
+        "clock_ns": result.clock_ns,
+        "start_cycles": dict(result.start_cycles),
+        "finish_cycles": dict(result.finish_cycles),
+        "iteration_finish_cycles": result.iteration_finish_cycles,
+        "fast_outcomes": dict(result.fast_outcomes),
+        "level_outcomes": dict(result.level_outcomes),
+        "token_overruns": result.token_overruns,
+    }
+
+
+def simulate_cached(
+    system: "ControllerSystem",
+    bound: "BoundDataflowGraph",
+    model: "CompletionModel",
+    *,
+    cache: "SimulationCache | None",
+    seed: int = 0,
+    iterations: int = 1,
+    **kwargs,
+) -> SimulationResult:
+    """:func:`~repro.sim.simulator.simulate` through a cache.
+
+    Only pure value runs are cacheable: a request recording a trace,
+    driving a datapath or customizing monitors bypasses the cache (the
+    extra artifacts are not content-addressed).
+    """
+    from ..sim.simulator import simulate
+
+    cacheable = cache is not None and not kwargs
+    if not cacheable:
+        return simulate(
+            system, bound, model, seed=seed, iterations=iterations, **kwargs
+        )
+    key = cache.key(system, bound, model, seed=seed, iterations=iterations)
+    found = cache.get(key)
+    if found is not None:
+        return found
+    result = simulate(
+        system, bound, model, seed=seed, iterations=iterations
+    )
+    cache.put(key, result)
+    return result

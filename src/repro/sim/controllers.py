@@ -217,19 +217,23 @@ class ControllerSystem:
         flags = config.flags
         # Pass 1: outputs (hence CC pulses) with flag-only CC inputs.
         pulses: set[str] = set()
-        pass1_outputs: dict[str, frozenset[str]] = {}
+        pass1_transitions: dict = {}
         for key, state in zip(self._keys, config.states):
             inputs = self._inputs_for(
                 key, state, flags, frozenset(), unit_completions
             )
             transition = self._fsms[key].step(state, inputs)
-            pass1_outputs[key] = transition.outputs
+            pass1_transitions[key] = transition
             for signal in transition.outputs:
                 if is_op_completion(signal):
                     pulses.add(op_of_completion(signal))
         pulses -= suppress_pulses
         pulses |= inject_pulses
-        # Pass 2: state choice with pulse-or-flag CC inputs.
+        # Pass 2: state choice with pulse-or-flag CC inputs.  A state
+        # whose guards reference no completion signal (query op is None)
+        # matches the same transition under any CC valuation, so pass 1's
+        # answer is reused — most controllers spend most cycles in such
+        # states (counting down C_<unit>), making this the common case.
         next_states: list[str] = []
         outputs: set[str] = set()
         starts: set[str] = set()
@@ -237,11 +241,14 @@ class ControllerSystem:
         consumed: set[tuple[str, str, str]] = set()
         pulse_set = frozenset(pulses)
         for key, state in zip(self._keys, config.states):
-            inputs = self._inputs_for(
-                key, state, flags, pulse_set, unit_completions
-            )
-            transition = self._fsms[key].step(state, inputs)
-            if transition.outputs != pass1_outputs[key]:
+            if self._state_query[key].get(state) is None:
+                transition = pass1_transitions[key]
+            else:
+                inputs = self._inputs_for(
+                    key, state, flags, pulse_set, unit_completions
+                )
+                transition = self._fsms[key].step(state, inputs)
+            if transition.outputs != pass1_transitions[key].outputs:
                 raise SimulationError(
                     f"controller {key!r}: outputs depend on completion "
                     f"inputs (state {state!r}); the one-pass pulse "

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from functools import partial
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..binding.binder import BoundDataflowGraph
 from ..resources.completion import (
@@ -15,19 +16,90 @@ from ..resources.completion import (
 from .controllers import ControllerSystem
 from .simulator import SimulationResult, simulate
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.cache import SimulationCache
+
+
+def _percentile(sorted_samples: Sequence[int], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted samples."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample set")
+    if len(sorted_samples) == 1:
+        return float(sorted_samples[0])
+    rank = (len(sorted_samples) - 1) * q
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(sorted_samples[low])
+    fraction = rank - low
+    return (
+        sorted_samples[low] * (1.0 - fraction)
+        + sorted_samples[high] * fraction
+    )
+
 
 @dataclass(frozen=True)
 class LatencyStatistics:
-    """Summary of many simulated first-iteration latencies (cycles)."""
+    """Summary of many simulated first-iteration latencies (cycles).
+
+    ``std`` is the *sample* standard deviation (n − 1 denominator; 0.0
+    for a single trial); ``p50``/``p95``/``p99`` are
+    linear-interpolation percentiles of the latency distribution.
+    """
 
     trials: int
     mean: float
     std: float
     minimum: int
     maximum: int
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
 
     def mean_ns(self, clock_ns: float) -> float:
         return self.mean * clock_ns
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[int]) -> "LatencyStatistics":
+        """Build the summary from raw latency samples (cycles)."""
+        if not samples:
+            raise ValueError("latency statistics need >= 1 sample")
+        ordered = sorted(samples)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        if n > 1:
+            variance = sum((s - mean) ** 2 for s in ordered) / (n - 1)
+        else:
+            variance = 0.0
+        return cls(
+            trials=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+        )
+
+
+def _latency_trial(
+    system: ControllerSystem,
+    bound: BoundDataflowGraph,
+    p: float,
+    base_seed: int,
+    trial: int,
+) -> int:
+    """One Monte-Carlo trial (module-level so process pools can run it)."""
+    from ..perf.engine import derive_seed
+
+    result = simulate(
+        system,
+        bound,
+        BernoulliCompletion(p),
+        seed=derive_seed(base_seed, trial),
+    )
+    return result.cycles
 
 
 def monte_carlo_latency(
@@ -36,22 +108,42 @@ def monte_carlo_latency(
     p: float,
     trials: int = 200,
     seed: int = 0,
+    *,
+    workers: "int | None" = 1,
+    cache: "SimulationCache | None" = None,
 ) -> LatencyStatistics:
-    """Simulate ``trials`` runs under Bernoulli(p) completion."""
-    model = BernoulliCompletion(p)
-    samples = []
-    for trial in range(trials):
-        result = simulate(system, bound, model, seed=seed + trial)
-        samples.append(result.cycles)
-    mean = sum(samples) / len(samples)
-    variance = sum((s - mean) ** 2 for s in samples) / len(samples)
-    return LatencyStatistics(
-        trials=trials,
-        mean=mean,
-        std=math.sqrt(variance),
-        minimum=min(samples),
-        maximum=max(samples),
+    """Simulate ``trials`` runs under Bernoulli(p) completion.
+
+    Per-trial seeds are derived from ``(seed, trial)`` with a stable
+    hash (:func:`~repro.perf.engine.derive_seed`), so ``workers=N``
+    returns statistics byte-identical to the serial run — parallelism
+    changes wall-clock time only.  ``cache`` (a
+    :class:`~repro.perf.cache.SimulationCache`) short-circuits trials
+    already simulated for this exact design/model/seed combination.
+    """
+    from ..perf.engine import derive_seed, parallel_map
+
+    if cache is not None:
+        from ..perf.cache import simulate_cached
+
+        model = BernoulliCompletion(p)
+        samples = [
+            simulate_cached(
+                system,
+                bound,
+                model,
+                cache=cache,
+                seed=derive_seed(seed, trial),
+            ).cycles
+            for trial in range(trials)
+        ]
+        return LatencyStatistics.from_samples(samples)
+    samples = parallel_map(
+        partial(_latency_trial, system, bound, p, seed),
+        range(trials),
+        workers=workers,
     )
+    return LatencyStatistics.from_samples(samples)
 
 
 def simulate_assignment(

@@ -133,29 +133,49 @@ def simulate(
     iteration_finish: list[int] = []
     overruns = 0
 
+    # Per-op lookup tables, hoisted out of the cycle loop: unit
+    # resolution and duration computation walk the allocation on every
+    # call, which dominated ``begin`` on large graphs.
+    unit_of_op = {op: bound.unit_of(op) for op in ops}
+    unit_name_of = {op: unit.name for op, unit in unit_of_op.items()}
+    telescopic = frozenset(
+        op for op, unit in unit_of_op.items() if unit.is_telescopic
+    )
+    fixed_duration = {
+        op: bound.duration_cycles(op, fast=True)
+        for op in ops
+        if op not in telescopic
+    }
+    level_duration: dict[tuple[str, int], int] = {}
+
     def begin(op: str, cycle: int) -> None:
-        unit = bound.unit_of(op)
-        if monitors.occupancy and unit.name in executing:
-            busy_op = executing[unit.name][0]
+        unit_name = unit_name_of[op]
+        if monitors.occupancy and unit_name in executing:
+            busy_op = executing[unit_name][0]
             raise ProtocolError(
-                f"occupancy violation: unit {unit.name!r} is busy with "
+                f"occupancy violation: unit {unit_name!r} is busy with "
                 f"{busy_op!r} but a controller started {op!r} at cycle "
                 f"{cycle}",
                 kind="occupancy",
                 cycle=cycle,
                 op=op,
-                unit=unit.name,
+                unit=unit_name,
             )
         operands = datapath.start(op) if datapath is not None else None
-        if unit.is_telescopic:
-            level = int(completion.sample_level(op, unit, operands, rng))
-            duration = bound.duration_for_level(op, level)
+        if op in telescopic:
+            level = int(
+                completion.sample_level(op, unit_of_op[op], operands, rng)
+            )
+            duration = level_duration.get((op, level))
+            if duration is None:
+                duration = bound.duration_for_level(op, level)
+                level_duration[(op, level)] = duration
         else:
             level = 0
-            duration = bound.duration_cycles(op, fast=True)
+            duration = fixed_duration[op]
         level_outcomes[op].append(level)
         fast_outcomes[op].append(level == 0)
-        executing[unit.name] = (op, duration, cycle)
+        executing[unit_name] = (op, duration, cycle)
         start_cycles.setdefault(op, cycle)
 
     # Sorted iteration over start/complete sets keeps error reporting
@@ -214,8 +234,13 @@ def simulate(
     fault_horizon = getattr(system, "fault_horizon", -1)
     previous_snapshot: "tuple | None" = None
     cycle = 0
-    target = iterations * len(ops)
+    num_ops = len(ops)
+    target = iterations * num_ops
     total_done = 0
+    # done_at[k] counts ops with >= k completions (k in 1..iterations):
+    # the incremental form of the per-cycle "is iteration k finished"
+    # scan, which was O(iterations × ops) per clock edge.
+    done_at = [0] * (iterations + 1)
     while total_done < target:
         if cycle >= max_cycles:
             raise DeadlockError(
@@ -240,25 +265,30 @@ def simulate(
             # around pipelining a controller may legally complete-and-
             # restart the same op every cycle at a fixed configuration —
             # progress with a repeating config is not a deadlock.
-            snapshot = (
-                config,
-                tuple(sorted(unit_completions.items())),
-                total_done,
-            )
-            stable_inputs = all(unit_completions.values())
-            if (
-                snapshot == previous_snapshot
-                and stable_inputs
-                and cycle > fault_horizon
-            ):
-                raise DeadlockError(
-                    f"deadlock at cycle {cycle}: the control unit is "
-                    f"quiescent with {total_done}/{target} completions and "
-                    f"can never progress; {deadlock_detail()}",
-                    max_cycles=max_cycles,
-                    **deadlock_context(),
+            # The snapshot is only materialized on quiescent cycles (all
+            # CSGs report done): an unstable cycle can never equal a
+            # stable one — its completion tuple differs — so recording it
+            # only costs time on the hot path.
+            if all(unit_completions.values()):
+                snapshot = (
+                    config,
+                    tuple(sorted(unit_completions.items())),
+                    total_done,
                 )
-            previous_snapshot = snapshot
+                if (
+                    snapshot == previous_snapshot
+                    and cycle > fault_horizon
+                ):
+                    raise DeadlockError(
+                        f"deadlock at cycle {cycle}: the control unit is "
+                        f"quiescent with {total_done}/{target} completions "
+                        f"and can never progress; {deadlock_detail()}",
+                        max_cycles=max_cycles,
+                        **deadlock_context(),
+                    )
+                previous_snapshot = snapshot
+            else:
+                previous_snapshot = None
         result = system.step(config, unit_completions)
         if trace is not None:
             trace.append(
@@ -271,8 +301,11 @@ def simulate(
                     completes=result.completes,
                 )
             )
-        for op in sorted(result.completes):
-            unit = bound.unit_of(op).name
+        completes = result.completes
+        if len(completes) > 1:
+            completes = sorted(completes)
+        for op in completes:
+            unit = unit_name_of.get(op) or bound.unit_of(op).name
             record = executing.get(unit)
             if record is None or record[0] != op:
                 raise ProtocolError(
@@ -298,9 +331,14 @@ def simulate(
             del executing[unit]
             finish_cycles.setdefault(op, cycle + 1)
             completions[op] += 1
-            if completions[op] <= iterations:
+            count = completions[op]
+            if count <= iterations:
                 total_done += 1
-        for op in sorted(result.starts):
+                done_at[count] += 1
+        starts = result.starts
+        if len(starts) > 1:
+            starts = sorted(starts)
+        for op in starts:
             begin(op, cycle + 1)
         if monitors.handshake and result.overruns:
             edges = tuple(sorted(result.overruns))
@@ -319,11 +357,11 @@ def simulate(
         overruns += len(result.overruns)
         config = result.config
         cycle += 1
-        for k in range(len(iteration_finish), iterations):
-            if all(done >= k + 1 for done in completions.values()):
-                iteration_finish.append(cycle)
-            else:
-                break
+        while (
+            len(iteration_finish) < iterations
+            and done_at[len(iteration_finish) + 1] == num_ops
+        ):
+            iteration_finish.append(cycle)
 
     if datapath is not None:
         for k in range(iterations):

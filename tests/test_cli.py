@@ -97,6 +97,40 @@ class TestUtilizationFlag:
         assert "utilization" in out and "TM1" in out
 
 
+class TestExperimentsCommand:
+    def test_runs_named_driver(self, capsys):
+        assert main(["experiments", "pipeline"]) == 0
+        assert "X4" in capsys.readouterr().out
+
+    def test_workers_flag(self, capsys):
+        assert main(["experiments", "fig4", "-j", "2"]) == 0
+        assert "CENT" in capsys.readouterr().out
+
+    def test_unknown_driver_fails_cleanly(self, capsys):
+        assert main(["experiments", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_quick_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        assert (
+            main(
+                ["bench", "fig3", "--quick", "--trials", "8", "-j", "2",
+                 "-o", str(out)]
+            )
+            == 0
+        )
+        assert "repro bench" in capsys.readouterr().out
+        assert "fig3" in out.read_text()
+
+
+class TestFaultsWorkersFlag:
+    def test_parallel_campaign_runs(self, capsys):
+        assert main(["faults", "fig2", "--trials", "4", "-j", "2"]) == 0
+        assert "fault campaign" in capsys.readouterr().out
+
+
 class TestReportCommand:
     def test_quick_report_writes_file(self, tmp_path, capsys):
         out_file = tmp_path / "report.md"

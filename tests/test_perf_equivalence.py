@@ -1,0 +1,60 @@
+"""Parallel-vs-serial equivalence: the engine must not change results.
+
+The contract of :mod:`repro.perf` is that any worker count produces the
+byte-identical result of the serial loop.  These tests pin that contract
+for every consumer wired through the engine: Monte-Carlo latency across
+all three controller styles, the fault-injection campaign, and the
+parallelized experiment drivers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import run_fig4
+from repro.experiments.table2 import run_table2
+from repro.faults.campaign import run_campaign
+
+
+@pytest.mark.parametrize("style", ["dist", "cent-sync", "cent"])
+def test_monte_carlo_parallel_matches_serial(fig2_result, style):
+    serial = fig2_result.monte_carlo_latency(
+        p=0.7, trials=30, seed=5, style=style, workers=1
+    )
+    parallel = fig2_result.monte_carlo_latency(
+        p=0.7, trials=30, seed=5, style=style, workers=3
+    )
+    assert parallel == serial
+
+
+def test_monte_carlo_auto_workers_matches_serial(fig3_result):
+    serial = fig3_result.monte_carlo_latency(trials=20, workers=1)
+    auto = fig3_result.monte_carlo_latency(trials=20, workers=0)
+    assert auto == serial
+
+
+def test_fault_campaign_parallel_is_byte_identical(fig2_result):
+    serial = run_campaign(fig2_result, trials=8, seed=1, workers=1)
+    parallel = run_campaign(fig2_result, trials=8, seed=1, workers=2)
+    assert parallel.to_json() == serial.to_json()
+
+
+def test_fault_campaign_api_passthrough(fig2_result):
+    serial = fig2_result.fault_campaign(trials=5, seed=2, workers=1)
+    parallel = fig2_result.fault_campaign(trials=5, seed=2, workers=2)
+    assert parallel.to_json() == serial.to_json()
+
+
+def test_table2_rows_identical_under_workers():
+    from repro.benchmarks.registry import table2_benchmarks
+
+    entries = list(table2_benchmarks())[:2]
+    serial = run_table2(entries, trials=50, workers=1)
+    parallel = run_table2(entries, trials=50, workers=2)
+    assert parallel.render() == serial.render()
+
+
+def test_fig4_points_identical_under_workers():
+    serial = run_fig4((1, 2), workers=1)
+    parallel = run_fig4((1, 2), workers=2)
+    assert parallel == serial
