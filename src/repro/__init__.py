@@ -12,6 +12,9 @@ Lee, Nakamura, Nanya — DATE 2003) as a production-quality Python library:
 * :mod:`repro.logic` — two-level boolean minimization for area analysis,
 * :mod:`repro.fsm` — Algorithm 1 and the centralized TAUBM FSM builders,
 * :mod:`repro.control` — distributed control-unit integration (Fig. 7),
+* :mod:`repro.pipeline` — the pass-based synthesis pipeline: typed
+  artifact store, stage registries, provenance manifests and per-pass
+  content-addressed caching,
 * :mod:`repro.sim` — cycle-accurate controller + datapath simulation,
 * :mod:`repro.analysis` — exact/Monte-Carlo latency and area reporting,
 * :mod:`repro.benchmarks` — the paper's DFG benchmark suite,
@@ -31,6 +34,7 @@ from __future__ import annotations
 
 from .api import SynthesisResult, synthesize
 from .core import DataflowGraph, DFGBuilder, OpType, ResourceClass
+from .pipeline import PassManager, RunManifest, run_synthesis_pipeline
 from .resources import ResourceAllocation, TelescopicUnit
 
 __version__ = "1.0.0"
@@ -39,10 +43,13 @@ __all__ = [
     "DFGBuilder",
     "DataflowGraph",
     "OpType",
+    "PassManager",
     "ResourceAllocation",
     "ResourceClass",
+    "RunManifest",
     "SynthesisResult",
     "TelescopicUnit",
     "__version__",
+    "run_synthesis_pipeline",
     "synthesize",
 ]

@@ -16,27 +16,19 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .faults.campaign import FaultCampaignReport
-    from .perf.cache import SimulationCache
+    from .perf.cache import SimulationCache, SynthesisCache
     from .sim.runner import LatencyStatistics
 
 from .analysis.latency import LatencyComparison, compare_latencies
-from .binding.binder import BoundDataflowGraph, bind
-from .control.distributed import (
-    DistributedControlUnit,
-    build_distributed_control_unit,
-)
+from .binding.binder import BoundDataflowGraph
+from .control.distributed import DistributedControlUnit
 from .core.dfg import DataflowGraph
-from .core.validate import validate_dfg
+from .errors import SimulationError
 from .fsm.model import FSM
 from .fsm.product import build_cent_fsm
 from .fsm.taubm import derive_cent_sync_fsm
 from .resources.allocation import ResourceAllocation
-from .errors import SchedulingError, SimulationError
-from .scheduling.exact import exact_schedule
-from .scheduling.list_scheduler import list_schedule
-from .scheduling.order_based import order_based_schedule
 from .scheduling.schedule import OrderSchedule, TaubmSchedule, TimeStepSchedule
-from .scheduling.taubm import derive_taubm_schedule
 from .sim.controllers import ControllerSystem, single_fsm_system
 
 
@@ -150,8 +142,18 @@ def synthesize(
     allocation: "ResourceAllocation | str",
     scheduler: str = "list",
     objective: str = "latency",
+    *,
+    cache: "SynthesisCache | None" = None,
 ) -> SynthesisResult:
     """Run the complete paper flow on a dataflow graph.
+
+    This is the canned synthesis pipeline (:mod:`repro.pipeline`): the
+    ``validate``, ``schedule``, ``order``, ``bind``, ``taubm`` and
+    ``distributed`` passes run in order over a typed artifact store and
+    the result is assembled from the store.  Use
+    :func:`repro.pipeline.run_synthesis_pipeline` directly for the run
+    manifest, partial runs or custom passes — artifacts are identical
+    either way.
 
     ``allocation`` may be a :class:`ResourceAllocation` or a spec string
     such as ``"mul:2T,add:1,sub:1"`` (``T`` = telescopic class).
@@ -159,42 +161,23 @@ def synthesize(
     supported throughout: Algorithm 1 chains extension states, the
     synchronized baseline extends steps until every unit reports done.
 
-    ``scheduler`` picks the time-step scheduler deriving the execution
-    order: ``"list"`` (priority list scheduling, the default),
-    ``"exact"`` (branch-and-bound minimum latency, falls back to the list
-    schedule when the search blows up), or their explicit combination via
-    pre-built schedules through the lower-level APIs.  ``objective``
-    selects the chain-assignment heuristic (``"latency"`` or
-    ``"communication"`` — see
+    ``scheduler`` names an entry of the scheduler registry: ``"list"``
+    (priority list scheduling, the default), ``"exact"`` (branch-and-
+    bound minimum latency; falls back to the list schedule with a
+    :class:`~repro.errors.SchedulingFallbackWarning` and a manifest
+    diagnostic when the search blows up), ``"force-directed"`` (latency-
+    constrained concurrency balancing), or the unconstrained ``"asap"``
+    / ``"alap"`` (rejected when their schedule exceeds the allocation).
+    ``objective`` selects the chain-assignment heuristic (``"latency"``
+    or ``"communication"`` — see
     :func:`repro.scheduling.order_based.order_based_schedule`).
+
+    ``cache`` is a :class:`~repro.perf.cache.SynthesisCache`; passes
+    whose inputs and options fingerprint-match a previous run are
+    rehydrated from it instead of recomputed.
     """
-    if isinstance(allocation, str):
-        allocation = ResourceAllocation.parse(allocation)
-    validate_dfg(dfg)
-    allocation.validate_for(dfg)
-    if scheduler == "list":
-        schedule = list_schedule(dfg, allocation)
-    elif scheduler == "exact":
-        try:
-            schedule = exact_schedule(dfg, allocation)
-        except SchedulingError:
-            schedule = list_schedule(dfg, allocation)
-    else:
-        raise SchedulingError(
-            f"unknown scheduler {scheduler!r}; choose 'list' or 'exact'"
-        )
-    order = order_based_schedule(
-        dfg, allocation, schedule, objective=objective
-    )
-    bound = bind(dfg, allocation, order)
-    taubm = derive_taubm_schedule(schedule, allocation)
-    distributed = build_distributed_control_unit(bound)
-    return SynthesisResult(
-        dfg=dfg,
-        allocation=allocation,
-        schedule=schedule,
-        order=order,
-        bound=bound,
-        taubm=taubm,
-        distributed=distributed,
+    from .pipeline.manager import synthesize_design
+
+    return synthesize_design(
+        dfg, allocation, scheduler, objective, cache=cache
     )

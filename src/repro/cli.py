@@ -12,6 +12,8 @@ Gives the library's main flows a shell-level surface::
     python -m repro distribution fir5 --p 0.7
     python -m repro experiments multilevel physical -j 4
     python -m repro bench --quick -o BENCH_core.json
+    python -m repro pipeline --list
+    python -m repro pipeline diffeq --cache-dir .repro-cache --manifest m.json
 """
 
 from __future__ import annotations
@@ -26,19 +28,30 @@ from .benchmarks.registry import all_benchmarks, benchmark
 from .control.verilog_top import distributed_to_verilog
 from .core.dot import dfg_to_dot
 from .errors import ReproError
+from .pipeline.registry import (
+    BINDERS,
+    CONTROLLER_BACKENDS,
+    ORDER_OBJECTIVES,
+    SCHEDULERS,
+)
 from .resources.allocation import ResourceAllocation
 from .resources.completion import BernoulliCompletion
 from .sim.simulator import simulate
 from .sim.vcd import trace_to_vcd
 
 
-def _synthesize_from_args(args) -> "tuple":
+def _benchmark_design(args) -> "tuple":
     entry = benchmark(args.benchmark)
     allocation = (
         ResourceAllocation.parse(args.allocation)
         if args.allocation
         else entry.allocation()
     )
+    return entry, allocation
+
+
+def _synthesize_from_args(args) -> "tuple":
+    entry, allocation = _benchmark_design(args)
     return entry, synthesize(entry.dfg(), allocation, scheduler=args.scheduler)
 
 
@@ -218,6 +231,13 @@ _EXPERIMENT_DRIVERS = {
 def _cmd_experiments(args) -> int:
     import importlib
 
+    from .pipeline.manager import set_default_synthesis_cache
+
+    cache = None
+    if args.cache_dir:
+        from .perf.cache import SynthesisCache
+
+        cache = SynthesisCache(args.cache_dir)
     names = args.experiments or sorted(_EXPERIMENT_DRIVERS)
     for name in names:
         if name not in _EXPERIMENT_DRIVERS:
@@ -227,15 +247,22 @@ def _cmd_experiments(args) -> int:
                 file=sys.stderr,
             )
             return 1
-    first = True
-    for name in names:
-        module_name, func_name, takes_workers = _EXPERIMENT_DRIVERS[name]
-        runner = getattr(importlib.import_module(module_name), func_name)
-        kwargs = {"workers": args.workers} if takes_workers else {}
-        if not first:
-            print()
-        first = False
-        print(runner(**kwargs).render())
+    previous = (
+        set_default_synthesis_cache(cache) if cache is not None else None
+    )
+    try:
+        first = True
+        for name in names:
+            module_name, func_name, takes_workers = _EXPERIMENT_DRIVERS[name]
+            runner = getattr(importlib.import_module(module_name), func_name)
+            kwargs = {"workers": args.workers} if takes_workers else {}
+            if not first:
+                print()
+            first = False
+            print(runner(**kwargs).render())
+    finally:
+        if cache is not None:
+            set_default_synthesis_cache(previous)
     return 0
 
 
@@ -250,6 +277,7 @@ def _cmd_bench(args) -> int:
         trials=args.trials,
         workers=args.workers,
         seed=args.seed,
+        cache_dir=args.cache_dir,
     )
     print(report.render())
     if args.output:
@@ -262,6 +290,72 @@ def _cmd_distribution(args) -> int:
     __, result = _synthesize_from_args(args)
     comparison = compare_distributions(result.bound, result.taubm, p=args.p)
     print(comparison.render())
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from .analysis.tables import render_table
+    from .perf.cache import SynthesisCache
+    from .pipeline import run_synthesis_pipeline, synthesis_passes
+
+    if args.list:
+        rows = [
+            [
+                p.name,
+                ", ".join(p.requires) or "-",
+                ", ".join(p.provides) or "-",
+                "yes" if p.cacheable else "no",
+                p.summary,
+            ]
+            for p in synthesis_passes()
+        ]
+        print(
+            render_table(
+                ["pass", "requires", "provides", "cached", "summary"], rows
+            )
+        )
+        print()
+        reg_rows = [
+            [registry.kind, entry.name, entry.summary]
+            for registry in (
+                SCHEDULERS,
+                ORDER_OBJECTIVES,
+                BINDERS,
+                CONTROLLER_BACKENDS,
+            )
+            for entry in registry
+        ]
+        print(render_table(["registry", "name", "summary"], reg_rows))
+        return 0
+    if not args.benchmark:
+        print(
+            "error: a benchmark name is required unless --list is given",
+            file=sys.stderr,
+        )
+        return 2
+    entry, allocation = _benchmark_design(args)
+    cache = SynthesisCache(args.cache_dir) if args.cache_dir else None
+    manifest = run_synthesis_pipeline(
+        entry.dfg(),
+        allocation,
+        scheduler=args.scheduler,
+        objective=args.objective,
+        upto=args.to,
+        cache=cache,
+    )[1]
+    print(manifest.render())
+    if args.manifest:
+        with open(args.manifest, "w") as handle:
+            handle.write(manifest.to_json(timing=True))
+            handle.write("\n")
+        print(f"wrote manifest to {args.manifest}")
+    if args.assert_all_cached and not manifest.all_cached():
+        print(
+            "error: expected every cacheable pass to be served from "
+            "cache, got " + manifest.cache_summary(),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -299,9 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--scheduler",
-            choices=("list", "exact"),
+            choices=SCHEDULERS.names(),
             default="list",
-            help="time-step scheduler (default: list)",
+            help="time-step scheduler from the registry (default: list)",
         )
 
     p_syn = sub.add_parser(
@@ -395,6 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_workers_arg(p_exp)
+    p_exp.add_argument(
+        "--cache-dir",
+        help=(
+            "directory for the synthesis-artifact cache shared by every "
+            "design the experiments construct"
+        ),
+    )
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_bench = sub.add_parser(
@@ -427,7 +528,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="workers for the parallel Monte-Carlo column (0 = auto)",
     )
+    p_bench.add_argument(
+        "--cache-dir",
+        help="directory for the synthesis-artifact cache",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_pipe = sub.add_parser(
+        "pipeline",
+        help=(
+            "run the pass-based synthesis pipeline with provenance "
+            "manifest and per-pass caching"
+        ),
+    )
+    p_pipe.add_argument(
+        "benchmark", nargs="?", help="registered benchmark name"
+    )
+    p_pipe.add_argument(
+        "--allocation",
+        help='allocation spec, e.g. "mul:2T,add:1" (default: paper)',
+    )
+    p_pipe.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS.names(),
+        default="list",
+        help="time-step scheduler from the registry (default: list)",
+    )
+    p_pipe.add_argument(
+        "--objective",
+        choices=ORDER_OBJECTIVES.names(),
+        default="latency",
+        help="chain-assignment objective (default: latency)",
+    )
+    p_pipe.add_argument(
+        "--to",
+        metavar="PASS",
+        default="distributed",
+        help=(
+            "run up to and including this pass "
+            "(default: distributed; use cent-fsms for the full list)"
+        ),
+    )
+    p_pipe.add_argument(
+        "--cache-dir",
+        help="directory for the per-pass synthesis-artifact cache",
+    )
+    p_pipe.add_argument(
+        "--manifest",
+        help="write the run manifest (with wall times) as JSON here",
+    )
+    p_pipe.add_argument(
+        "--list",
+        action="store_true",
+        help="list the declared passes and stage registries, then exit",
+    )
+    p_pipe.add_argument(
+        "--assert-all-cached",
+        action="store_true",
+        help=(
+            "exit nonzero unless every cacheable pass was served from "
+            "the cache (CI smoke for cache effectiveness)"
+        ),
+    )
+    p_pipe.set_defaults(func=_cmd_pipeline)
 
     return parser
 

@@ -163,3 +163,16 @@ class InjectedFaultEscape(SimulationError):
 
 class LogicError(ReproError):
     """A boolean-logic object (cover, cube, function) is malformed."""
+
+
+class PipelineError(ReproError):
+    """A synthesis pipeline is misconfigured or was driven incorrectly."""
+
+
+class SchedulingFallbackWarning(UserWarning):
+    """A scheduler silently degraded to a weaker strategy.
+
+    Emitted (never raised) when the exact branch-and-bound scheduler
+    exceeds its search budget and the flow falls back to list scheduling;
+    the run manifest records the same event as a structured diagnostic.
+    """

@@ -1,21 +1,38 @@
-"""Shared helpers for the experiment drivers."""
+"""Shared helpers for the experiment drivers.
+
+Every driver constructs designs through the synthesis pipeline
+(:mod:`repro.pipeline`), so a process-default artifact cache — installed
+by ``repro experiments --cache-dir`` — makes repeated Table-2/Fig-4/
+ablation sweeps skip every pass whose inputs have not changed.
+"""
 
 from __future__ import annotations
 
-from ..api import SynthesisResult, synthesize
+from typing import TYPE_CHECKING
+
+from ..api import SynthesisResult
 from ..benchmarks.registry import BenchmarkEntry, benchmark
+from ..pipeline.manager import synthesize_design
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.cache import SynthesisCache
 
 
 def synthesize_benchmark(
-    name: str, scheduler: str = "list"
+    name: str,
+    scheduler: str = "list",
+    cache: "SynthesisCache | None" = None,
 ) -> SynthesisResult:
     """Run the full flow on a registered benchmark's paper allocation."""
-    entry = benchmark(name)
-    return synthesize(entry.dfg(), entry.allocation(), scheduler=scheduler)
+    return synthesize_entry(benchmark(name), scheduler=scheduler, cache=cache)
 
 
 def synthesize_entry(
-    entry: BenchmarkEntry, scheduler: str = "list"
+    entry: BenchmarkEntry,
+    scheduler: str = "list",
+    cache: "SynthesisCache | None" = None,
 ) -> SynthesisResult:
     """Run the full flow on a registry entry."""
-    return synthesize(entry.dfg(), entry.allocation(), scheduler=scheduler)
+    return synthesize_design(
+        entry.dfg(), entry.allocation(), scheduler=scheduler, cache=cache
+    )

@@ -539,12 +539,17 @@ def run_benchmark_campaign(
     allocation: "str | None" = None,
     workers: "int | None" = 1,
 ) -> FaultCampaignReport:
-    """Synthesize a registered benchmark and run a campaign on it."""
-    from ..api import synthesize
+    """Synthesize a registered benchmark and run a campaign on it.
+
+    The design is constructed through the synthesis pipeline, so a
+    process-default artifact cache (``--cache-dir``) lets repeated
+    campaigns on the same benchmark skip every synthesis pass.
+    """
     from ..benchmarks.registry import benchmark
+    from ..pipeline.manager import synthesize_design
 
     entry = benchmark(benchmark_name)
-    result = synthesize(
+    result = synthesize_design(
         entry.dfg(),
         allocation if allocation is not None else entry.allocation(),
     )

@@ -8,22 +8,32 @@
   seeds come from :func:`derive_seed`, a stable hash of
   ``(base_seed, trial)``, so parallel output is byte-identical to
   serial output.
-* :mod:`~repro.perf.cache` — a content-addressed simulation-result
-  cache keyed by (design fingerprint, completion model, seed,
-  iterations) that makes figure/sweep regeneration incremental.
+* :mod:`~repro.perf.cache` — content-addressed caches: a
+  simulation-result cache keyed by (design fingerprint, completion
+  model, seed, iterations) and the per-pass synthesis-artifact cache
+  behind :mod:`repro.pipeline`; both make figure/sweep regeneration
+  incremental and can share one ``--cache-dir``.
 * :mod:`~repro.perf.bench` — the ``repro bench`` harness that times
   synthesis, simulation, Monte-Carlo (serial vs parallel) and exact
   expectation on the registered benchmarks and persists the perf
   trajectory in ``BENCH_core.json``.
 """
 
-from .cache import SimulationCache, design_fingerprint, simulate_cached
+from .cache import (
+    SimulationCache,
+    SynthesisCache,
+    artifact_fingerprint,
+    design_fingerprint,
+    simulate_cached,
+)
 from .engine import derive_seed, parallel_map, resolve_workers
 from .bench import BenchReport, run_bench
 
 __all__ = [
     "BenchReport",
     "SimulationCache",
+    "SynthesisCache",
+    "artifact_fingerprint",
     "derive_seed",
     "design_fingerprint",
     "parallel_map",

@@ -35,7 +35,15 @@ from ..sim.simulator import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..binding.binder import BoundDataflowGraph
+    from ..core.dfg import DataflowGraph
+    from ..fsm.model import FSM
+    from ..resources.allocation import ResourceAllocation
     from ..resources.completion import CompletionModel
+    from ..scheduling.schedule import (
+        OrderSchedule,
+        TaubmSchedule,
+        TimeStepSchedule,
+    )
     from ..sim.controllers import ControllerSystem
 
 
@@ -58,6 +66,126 @@ def design_fingerprint(bound: "BoundDataflowGraph") -> str:
         "edges": sorted(bound.execution_edges()),
     }
     return _digest(payload)
+
+
+# ----------------------------------------------------------------------
+# Synthesis-artifact fingerprints
+#
+# One stable digest per pipeline artifact type, all built from the exact
+# serializations in :mod:`repro.serialize` — so a fingerprint changes if
+# and only if the serialized artifact would.  :mod:`repro.pipeline` keys
+# its per-pass cache on these.
+# ----------------------------------------------------------------------
+def dfg_fingerprint(dfg: "DataflowGraph") -> str:
+    """Stable digest of a dataflow graph."""
+    return _digest(dfg_to_dict(dfg))
+
+
+def allocation_fingerprint(allocation: "ResourceAllocation") -> str:
+    """Stable digest of an allocation (units, kinds, delays, clock)."""
+    return _digest(
+        {
+            "units": [
+                {
+                    "name": unit.name,
+                    "class": unit.resource_class.value,
+                    "telescopic": unit.is_telescopic,
+                    "levels": list(unit.level_delays_ns),
+                }
+                for unit in allocation
+            ],
+            "clock_ns": allocation.clock_period_ns(),
+        }
+    )
+
+
+def schedule_fingerprint(schedule: "TimeStepSchedule") -> str:
+    """Stable digest of a time-step schedule (graph + start times)."""
+    from ..serialize import schedule_to_dict
+
+    return _digest(
+        {
+            "dfg": dfg_fingerprint(schedule.dfg),
+            "schedule": schedule_to_dict(schedule),
+        }
+    )
+
+
+def order_fingerprint(order: "OrderSchedule") -> str:
+    """Stable digest of an order-based schedule (chains + arcs)."""
+    from ..serialize import order_to_dict
+
+    return _digest(
+        {
+            "dfg": dfg_fingerprint(order.dfg),
+            "order": order_to_dict(order),
+        }
+    )
+
+
+def taubm_fingerprint(taubm: "TaubmSchedule") -> str:
+    """Stable digest of a TAUBM schedule."""
+    from ..serialize import taubm_to_dict
+
+    return _digest(
+        {
+            "dfg": dfg_fingerprint(taubm.dfg),
+            "taubm": taubm_to_dict(taubm),
+        }
+    )
+
+
+def fsm_fingerprint(fsm: "FSM") -> str:
+    """Stable digest of one FSM."""
+    from ..serialize import fsm_to_dict
+
+    return _digest(fsm_to_dict(fsm))
+
+
+def distributed_fingerprint(unit) -> str:
+    """Stable digest of a distributed control unit."""
+    from ..serialize import distributed_to_dict
+
+    return _digest(
+        {
+            "design": design_fingerprint(unit.bound),
+            "unit": distributed_to_dict(unit),
+        }
+    )
+
+
+def artifact_fingerprint(artifact: object) -> str:
+    """Dispatch to the right fingerprint for any pipeline artifact."""
+    from ..binding.binder import BoundDataflowGraph
+    from ..control.distributed import DistributedControlUnit
+    from ..core.dfg import DataflowGraph
+    from ..fsm.model import FSM
+    from ..resources.allocation import ResourceAllocation
+    from ..scheduling.schedule import (
+        OrderSchedule,
+        TaubmSchedule,
+        TimeStepSchedule,
+    )
+
+    if isinstance(artifact, DataflowGraph):
+        return dfg_fingerprint(artifact)
+    if isinstance(artifact, ResourceAllocation):
+        return allocation_fingerprint(artifact)
+    if isinstance(artifact, TimeStepSchedule):
+        return schedule_fingerprint(artifact)
+    if isinstance(artifact, OrderSchedule):
+        return order_fingerprint(artifact)
+    if isinstance(artifact, TaubmSchedule):
+        return taubm_fingerprint(artifact)
+    if isinstance(artifact, BoundDataflowGraph):
+        return design_fingerprint(artifact)
+    if isinstance(artifact, DistributedControlUnit):
+        return distributed_fingerprint(artifact)
+    if isinstance(artifact, FSM):
+        return fsm_fingerprint(artifact)
+    raise TypeError(
+        f"no fingerprint for artifact type {type(artifact).__name__!r}"
+    )
 
 
 def system_fingerprint(system: "ControllerSystem") -> str:
@@ -258,3 +386,69 @@ def simulate_cached(
     )
     cache.put(key, result)
     return result
+
+
+class SynthesisCache:
+    """In-memory, optionally directory-backed synthesis-artifact cache.
+
+    The pipeline (:mod:`repro.pipeline`) stores one JSON payload per
+    executed pass, keyed by a digest of the pass name, the fingerprints
+    of its input artifacts and its options.  ``path=None`` keeps entries
+    in-process; with a directory every entry is also written as
+    ``<key>.syn.json`` (the suffix keeps synthesis entries disjoint from
+    :class:`SimulationCache` files, so both caches can share one
+    ``--cache-dir``).
+    """
+
+    def __init__(self, path: "str | None" = None) -> None:
+        self._memory: dict[str, dict] = {}
+        self._path = path
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __bool__(self) -> bool:
+        # an *empty* cache is still a cache — never let ``if cache:``
+        # silently drop a freshly-created one
+        return True
+
+    @staticmethod
+    def key(
+        pass_name: str,
+        inputs: Mapping[str, str],
+        options: Mapping[str, object],
+    ) -> str:
+        """Content address of one pass execution."""
+        return _digest(
+            {
+                "pass": pass_name,
+                "inputs": dict(sorted(inputs.items())),
+                "options": dict(sorted(options.items())),
+            }
+        )
+
+    def get(self, key: str) -> "dict | None":
+        payload = self._memory.get(key)
+        if payload is None and self._path is not None:
+            file_path = os.path.join(self._path, f"{key}.syn.json")
+            if os.path.exists(file_path):
+                with open(file_path) as handle:
+                    payload = json.load(handle)
+                self._memory[key] = payload
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping) -> None:
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._memory[key] = json.loads(text)
+        if self._path is not None:
+            file_path = os.path.join(self._path, f"{key}.syn.json")
+            with open(file_path, "w") as handle:
+                handle.write(text)

@@ -1,0 +1,56 @@
+"""Pass-based synthesis pipeline.
+
+The paper's flow — order-based scheduling → binding → TAUBM annotation
+→ distributed control derivation — as explicit IR-to-IR passes over a
+typed :class:`~repro.pipeline.artifacts.ArtifactStore`:
+
+``validate → schedule → order → bind → taubm → distributed → cent-fsms``
+
+Variation points (schedulers, order objectives, binders, controller
+backends) are string-keyed registries; every pass records provenance
+into a byte-stable :class:`~repro.pipeline.manifest.RunManifest` and is
+content-addressed-cached via
+:class:`~repro.perf.cache.SynthesisCache`, so repeated sweeps skip
+unchanged prefixes.  :func:`repro.synthesize` is the canned pipeline::
+
+    from repro.pipeline import run_synthesis_pipeline
+    store, manifest = run_synthesis_pipeline(dfg, "mul:2T,add:1")
+    print(manifest.render())
+"""
+
+from .artifacts import ARTIFACT_TYPES, ArtifactStore
+from .manager import (
+    PassManager,
+    default_synthesis_cache,
+    run_synthesis_pipeline,
+    set_default_synthesis_cache,
+    synthesize_design,
+)
+from .manifest import PassRecord, RunManifest
+from .passes import Pass, synthesis_passes
+from .registry import (
+    BINDERS,
+    CONTROLLER_BACKENDS,
+    ORDER_OBJECTIVES,
+    SCHEDULERS,
+    Registry,
+)
+
+__all__ = [
+    "ARTIFACT_TYPES",
+    "ArtifactStore",
+    "BINDERS",
+    "CONTROLLER_BACKENDS",
+    "ORDER_OBJECTIVES",
+    "Pass",
+    "PassManager",
+    "PassRecord",
+    "Registry",
+    "RunManifest",
+    "SCHEDULERS",
+    "default_synthesis_cache",
+    "run_synthesis_pipeline",
+    "set_default_synthesis_cache",
+    "synthesis_passes",
+    "synthesize_design",
+]

@@ -1,0 +1,143 @@
+"""Provenance manifest of one pipeline run.
+
+Every executed pass appends a :class:`PassRecord`: the fingerprints of
+the artifacts it read, the options it ran with, the fingerprints of the
+artifacts it produced, structured diagnostics (scheduler fallbacks,
+horizon extensions, ...) and its wall time.  The canonical JSON form
+excludes wall times, so two fresh runs over the same inputs serialize
+to byte-identical text and can be diffed or committed as goldens.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import PipelineError
+
+MANIFEST_FORMAT = 1
+
+#: status values a pass record may carry
+COMPUTED = "computed"
+CACHED = "cached"
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """Provenance of one executed pass."""
+
+    name: str
+    status: str
+    inputs: Mapping[str, str]
+    options: Mapping[str, Any]
+    outputs: Mapping[str, str]
+    diagnostics: tuple[Mapping[str, Any], ...] = ()
+    cache_key: "str | None" = None
+    wall_time_s: float = 0.0
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether this pass participates in the artifact cache."""
+        return self.cache_key is not None
+
+    def to_dict(self, timing: bool = False) -> dict[str, Any]:
+        """JSON-compatible record; ``timing`` adds the wall time."""
+        data: dict[str, Any] = {
+            "pass": self.name,
+            "status": self.status,
+            "inputs": dict(sorted(self.inputs.items())),
+            "options": dict(sorted(self.options.items())),
+            "outputs": dict(sorted(self.outputs.items())),
+            "diagnostics": [dict(d) for d in self.diagnostics],
+            "cache_key": self.cache_key,
+        }
+        if timing:
+            data["wall_time_s"] = self.wall_time_s
+        return data
+
+
+@dataclass
+class RunManifest:
+    """Ordered provenance of one pass-manager run."""
+
+    pipeline: str = "synthesis"
+    records: list[PassRecord] = field(default_factory=list)
+
+    def append(self, record: PassRecord) -> None:
+        self.records.append(record)
+
+    def record_for(self, pass_name: str) -> PassRecord:
+        """The record of a named pass (latest wins on re-runs)."""
+        for record in reversed(self.records):
+            if record.name == pass_name:
+                return record
+        raise PipelineError(
+            f"pass {pass_name!r} has no record in this manifest"
+        )
+
+    def pass_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.records)
+
+    def diagnostics(self) -> tuple[Mapping[str, Any], ...]:
+        """All structured diagnostics, flattened in pass order."""
+        return tuple(
+            dict(d, **{"pass": r.name})
+            for r in self.records
+            for d in r.diagnostics
+        )
+
+    def all_cached(self) -> bool:
+        """Whether every cacheable pass was satisfied from cache."""
+        cacheable = [r for r in self.records if r.cacheable]
+        return bool(cacheable) and all(
+            r.status == CACHED for r in cacheable
+        )
+
+    def cache_summary(self) -> str:
+        """Human-readable ``hits/cacheable`` counter, e.g. ``"5/6"``."""
+        cacheable = [r for r in self.records if r.cacheable]
+        hits = sum(1 for r in cacheable if r.status == CACHED)
+        return f"{hits}/{len(cacheable)}"
+
+    def to_dict(self, timing: bool = False) -> dict[str, Any]:
+        """JSON-compatible manifest; byte-stable when ``timing=False``.
+
+        The status field is included: two fresh runs agree on it, and a
+        cached re-run differs exactly where it was served from cache —
+        which is precisely the information a provenance diff should show.
+        Artifact fingerprints are identical either way.
+        """
+        return {
+            "format": MANIFEST_FORMAT,
+            "pipeline": self.pipeline,
+            "passes": [r.to_dict(timing=timing) for r in self.records],
+        }
+
+    def to_json(self, timing: bool = False, indent: int = 2) -> str:
+        """Canonical JSON text (sorted keys, stable separators)."""
+        return json.dumps(
+            self.to_dict(timing=timing), indent=indent, sort_keys=True
+        )
+
+    def render(self) -> str:
+        """Terminal-friendly per-pass summary table."""
+        lines = [f"pipeline {self.pipeline!r}:"]
+        for record in self.records:
+            produced = ", ".join(
+                f"{name}={fp[:12]}" for name, fp in record.outputs.items()
+            )
+            suffix = f" -> {produced}" if produced else ""
+            lines.append(
+                f"  {record.name:<12} {record.status:<9} "
+                f"{1e3 * record.wall_time_s:8.1f} ms{suffix}"
+            )
+            for diag in record.diagnostics:
+                event = diag.get("event", "diagnostic")
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in sorted(diag.items())
+                    if k != "event"
+                )
+                lines.append(f"    ! {event}: {detail}")
+        lines.append(f"  cache: {self.cache_summary()} passes from cache")
+        return "\n".join(lines)

@@ -1,0 +1,317 @@
+"""The declared passes of the synthesis pipeline.
+
+Each :class:`Pass` names the artifacts it requires and provides, carries
+its default options, and — when its outputs are value-serializable —
+a payload codec pair (``to_payload`` / ``from_payload``) that lets the
+pass manager satisfy it from the content-addressed artifact cache.
+``from_payload`` rebuilds artifacts from JSON plus the upstream
+artifacts already in the store, so a cache hit yields objects that
+serialize byte-identically to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..core.validate import validate_dfg
+from ..errors import PipelineError
+from ..scheduling.taubm import derive_taubm_schedule
+from ..serialize import (
+    bound_from_dict,
+    bound_to_dict,
+    distributed_from_dict,
+    distributed_to_dict,
+    fsm_from_dict,
+    fsm_to_dict,
+    order_from_dict,
+    order_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    taubm_from_dict,
+    taubm_to_dict,
+)
+from .artifacts import ArtifactStore
+from .registry import (
+    BINDERS,
+    CONTROLLER_BACKENDS,
+    ORDER_OBJECTIVES,
+    SCHEDULERS,
+)
+
+#: signature of a pass body: (store, options, diagnostics) -> artifacts
+PassBody = Callable[
+    [ArtifactStore, Mapping[str, Any], list], "dict[str, object]"
+]
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One declared IR-to-IR transformation of the pipeline."""
+
+    name: str
+    requires: tuple[str, ...]
+    provides: tuple[str, ...]
+    run: PassBody
+    summary: str = ""
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    to_payload: "Callable[[Mapping[str, object]], dict] | None" = None
+    from_payload: (
+        "Callable[[Mapping, ArtifactStore], dict[str, object]] | None"
+    ) = None
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether the pass output can live in the artifact cache."""
+        return self.to_payload is not None
+
+    def resolve_options(
+        self, overrides: "Mapping[str, Any] | None"
+    ) -> dict[str, Any]:
+        """Defaults merged with per-run overrides."""
+        options = dict(self.defaults)
+        options.update(overrides or {})
+        return options
+
+
+# ----------------------------------------------------------------------
+# Pass bodies
+# ----------------------------------------------------------------------
+def _run_validate(store, options, diagnostics):
+    dfg = store.get("dfg")
+    allocation = store.get("allocation")
+    validate_dfg(dfg)
+    allocation.validate_for(dfg)
+    return {}
+
+
+def _run_schedule(store, options, diagnostics):
+    options = dict(options)
+    scheduler = SCHEDULERS.get(options.pop("scheduler"))
+    schedule = scheduler(
+        store.get("dfg"),
+        store.get("allocation"),
+        diagnostics=diagnostics,
+        **options,
+    )
+    return {"schedule": schedule}
+
+
+def _run_order(store, options, diagnostics):
+    options = dict(options)
+    objective = ORDER_OBJECTIVES.get(options.pop("objective"))
+    order = objective(
+        store.get("dfg"),
+        store.get("allocation"),
+        store.get("schedule"),
+        diagnostics=diagnostics,
+        **options,
+    )
+    return {"order": order}
+
+
+def _run_bind(store, options, diagnostics):
+    options = dict(options)
+    binder = BINDERS.get(options.pop("binder"))
+    bound = binder(
+        store.get("dfg"),
+        store.get("allocation"),
+        store.get("order"),
+        diagnostics=diagnostics,
+        **options,
+    )
+    return {"bound": bound}
+
+
+def _run_taubm(store, options, diagnostics):
+    taubm = derive_taubm_schedule(
+        store.get("schedule"), store.get("allocation")
+    )
+    return {"taubm": taubm}
+
+
+def _run_distributed(store, options, diagnostics):
+    options = dict(options)
+    backend = CONTROLLER_BACKENDS.get(options.pop("backend"))
+    distributed = backend(
+        store.get("bound"),
+        store.get("taubm"),
+        diagnostics=diagnostics,
+        **options,
+    )
+    return {"distributed": distributed}
+
+
+def _run_cent_fsms(store, options, diagnostics):
+    bound = store.get("bound")
+    taubm = store.get("taubm")
+    cent_sync = CONTROLLER_BACKENDS.get("cent-sync")(
+        bound, taubm, diagnostics=diagnostics
+    )
+    cent = CONTROLLER_BACKENDS.get("cent")(
+        bound, taubm, diagnostics=diagnostics
+    )
+    return {"cent_sync_fsm": cent_sync, "cent_fsm": cent}
+
+
+# ----------------------------------------------------------------------
+# Payload codecs
+# ----------------------------------------------------------------------
+def _schedule_payload(artifacts):
+    return {"schedule": schedule_to_dict(artifacts["schedule"])}
+
+
+def _schedule_unpayload(payload, store):
+    return {
+        "schedule": schedule_from_dict(
+            payload["schedule"], store.get("dfg")
+        )
+    }
+
+
+def _order_payload(artifacts):
+    return {"order": order_to_dict(artifacts["order"])}
+
+
+def _order_unpayload(payload, store):
+    return {"order": order_from_dict(payload["order"], store.get("dfg"))}
+
+
+def _bound_payload(artifacts):
+    return {"bound": bound_to_dict(artifacts["bound"])}
+
+
+def _bound_unpayload(payload, store):
+    return {
+        "bound": bound_from_dict(
+            payload["bound"], store.get("dfg"), store.get("allocation")
+        )
+    }
+
+
+def _taubm_payload(artifacts):
+    return {"taubm": taubm_to_dict(artifacts["taubm"])}
+
+
+def _taubm_unpayload(payload, store):
+    return {"taubm": taubm_from_dict(payload["taubm"], store.get("dfg"))}
+
+
+def _distributed_payload(artifacts):
+    return {"distributed": distributed_to_dict(artifacts["distributed"])}
+
+
+def _distributed_unpayload(payload, store):
+    return {
+        "distributed": distributed_from_dict(
+            payload["distributed"], store.get("bound")
+        )
+    }
+
+
+def _cent_fsms_payload(artifacts):
+    return {
+        "cent_sync_fsm": fsm_to_dict(artifacts["cent_sync_fsm"]),
+        "cent_fsm": fsm_to_dict(artifacts["cent_fsm"]),
+    }
+
+
+def _cent_fsms_unpayload(payload, store):
+    return {
+        "cent_sync_fsm": fsm_from_dict(payload["cent_sync_fsm"]),
+        "cent_fsm": fsm_from_dict(payload["cent_fsm"]),
+    }
+
+
+# ----------------------------------------------------------------------
+# The canned synthesis pipeline
+# ----------------------------------------------------------------------
+VALIDATE = Pass(
+    name="validate",
+    requires=("dfg", "allocation"),
+    provides=(),
+    run=_run_validate,
+    summary="structural DFG checks + allocation feasibility",
+)
+
+SCHEDULE = Pass(
+    name="schedule",
+    requires=("dfg", "allocation"),
+    provides=("schedule",),
+    run=_run_schedule,
+    summary="time-step schedule via the scheduler registry",
+    defaults={"scheduler": "list"},
+    to_payload=_schedule_payload,
+    from_payload=_schedule_unpayload,
+)
+
+ORDER = Pass(
+    name="order",
+    requires=("dfg", "allocation", "schedule"),
+    provides=("order",),
+    run=_run_order,
+    summary="per-unit execution chains + schedule arcs (paper §3)",
+    defaults={"objective": "latency"},
+    to_payload=_order_payload,
+    from_payload=_order_unpayload,
+)
+
+BIND = Pass(
+    name="bind",
+    requires=("dfg", "allocation", "order"),
+    provides=("bound",),
+    run=_run_bind,
+    summary="chains onto concrete unit instances",
+    defaults={"binder": "chain"},
+    to_payload=_bound_payload,
+    from_payload=_bound_unpayload,
+)
+
+TAUBM = Pass(
+    name="taubm",
+    requires=("schedule", "allocation"),
+    provides=("taubm",),
+    run=_run_taubm,
+    summary="TAU extension annotation (Fig. 2b)",
+    to_payload=_taubm_payload,
+    from_payload=_taubm_unpayload,
+)
+
+DISTRIBUTED = Pass(
+    name="distributed",
+    requires=("bound", "taubm"),
+    provides=("distributed",),
+    run=_run_distributed,
+    summary="distributed control unit (Fig. 7) via the backend registry",
+    defaults={"backend": "dist"},
+    to_payload=_distributed_payload,
+    from_payload=_distributed_unpayload,
+)
+
+CENT_FSMS = Pass(
+    name="cent-fsms",
+    requires=("bound", "taubm"),
+    provides=("cent_sync_fsm", "cent_fsm"),
+    run=_run_cent_fsms,
+    summary="centralized comparison FSMs (Fig. 4a/4b)",
+    to_payload=_cent_fsms_payload,
+    from_payload=_cent_fsms_unpayload,
+)
+
+
+def synthesis_passes() -> tuple[Pass, ...]:
+    """The canned paper flow, in dependency order."""
+    return (VALIDATE, SCHEDULE, ORDER, BIND, TAUBM, DISTRIBUTED, CENT_FSMS)
+
+
+def check_pass_order(passes: tuple[Pass, ...]) -> None:
+    """Reject pass lists whose requirements cannot be met in order."""
+    available = {"dfg", "allocation"}
+    for p in passes:
+        missing = set(p.requires) - available
+        if missing:
+            raise PipelineError(
+                f"pass {p.name!r} requires {sorted(missing)} which no "
+                f"earlier pass provides"
+            )
+        available.update(p.provides)

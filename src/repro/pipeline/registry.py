@@ -1,0 +1,272 @@
+"""String-keyed registries for the pipeline's pluggable stages.
+
+Four registries cover the variation points of the flow: time-step
+schedulers, order-objective heuristics, binders and controller backends.
+Entries are plain callables with a uniform signature — positional
+artifacts, a keyword-only ``diagnostics`` list the callable may append
+structured events to (they land in the run manifest), and free keyword
+options.  Registering a new entry makes it reachable from
+``synthesize()``, ``repro synth --scheduler`` and ``repro pipeline``
+without touching any pass code.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..binding.binder import bind
+from ..control.distributed import build_distributed_control_unit
+from ..core.analysis import schedule_length
+from ..errors import (
+    PipelineError,
+    SchedulingError,
+    SchedulingFallbackWarning,
+)
+from ..fsm.product import build_cent_fsm
+from ..fsm.taubm import derive_cent_sync_fsm
+from ..scheduling.asap_alap import alap_schedule, asap_schedule
+from ..scheduling.exact import MAX_VISITED_STATES, exact_schedule
+from ..scheduling.force_directed import force_directed_schedule
+from ..scheduling.list_scheduler import list_schedule
+from ..scheduling.order_based import order_based_schedule
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered stage implementation."""
+
+    name: str
+    fn: Callable
+    summary: str
+
+
+class Registry:
+    """An ordered, string-keyed registry of stage implementations."""
+
+    def __init__(
+        self, kind: str, error: type = PipelineError
+    ) -> None:
+        self.kind = kind
+        self._error = error
+        self._entries: dict[str, RegistryEntry] = {}
+
+    def register(
+        self, name: str, fn: "Callable | None" = None, *, summary: str = ""
+    ):
+        """Register an implementation (usable as a decorator)."""
+
+        def _add(fn: Callable) -> Callable:
+            if name in self._entries:
+                raise PipelineError(
+                    f"{self.kind} {name!r} is already registered"
+                )
+            self._entries[name] = RegistryEntry(
+                name=name, fn=fn, summary=summary
+            )
+            return fn
+
+        return _add(fn) if fn is not None else _add
+
+    def get(self, name: str) -> Callable:
+        """Look an implementation up; unknown names list the choices."""
+        entry = self._entries.get(name)
+        if entry is None:
+            known = ", ".join(repr(n) for n in self.names())
+            raise self._error(
+                f"unknown {self.kind} {name!r}; choose {known}"
+            )
+        return entry.fn
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[RegistryEntry]:
+        for name in self.names():
+            yield self._entries[name]
+
+
+SCHEDULERS = Registry("scheduler", error=SchedulingError)
+ORDER_OBJECTIVES = Registry("order objective", error=SchedulingError)
+BINDERS = Registry("binder")
+CONTROLLER_BACKENDS = Registry("controller backend")
+
+
+# ----------------------------------------------------------------------
+# Schedulers: (dfg, allocation, *, diagnostics, **options) -> schedule
+# ----------------------------------------------------------------------
+@SCHEDULERS.register(
+    "list", summary="priority list scheduling (resource-constrained)"
+)
+def _list_scheduler(dfg, allocation, *, diagnostics, **options):
+    return list_schedule(dfg, allocation)
+
+
+@SCHEDULERS.register(
+    "exact",
+    summary="branch-and-bound minimum latency; falls back to 'list'",
+)
+def _exact_scheduler(
+    dfg,
+    allocation,
+    *,
+    diagnostics,
+    max_visited: int = MAX_VISITED_STATES,
+    **options,
+):
+    try:
+        return exact_schedule(dfg, allocation, max_visited=max_visited)
+    except SchedulingError as error:
+        message = (
+            f"exact scheduler fell back to list scheduling on "
+            f"{dfg.name!r}: {error}"
+        )
+        warnings.warn(message, SchedulingFallbackWarning, stacklevel=2)
+        diagnostics.append(
+            {
+                "event": "scheduler-fallback",
+                "requested": "exact",
+                "used": "list",
+                "reason": str(error),
+            }
+        )
+        return list_schedule(dfg, allocation)
+
+
+@SCHEDULERS.register(
+    "force-directed",
+    summary="Paulin-Knight force-directed, horizon grown to fit units",
+)
+def _force_directed_scheduler(
+    dfg,
+    allocation,
+    *,
+    diagnostics,
+    horizon: "int | None" = None,
+    **options,
+):
+    critical = schedule_length(dfg)
+    start = critical if horizon is None else horizon
+    limit = start if horizon is not None else critical + len(dfg)
+    for steps in range(start, limit + 1):
+        schedule = force_directed_schedule(dfg, horizon=steps)
+        usage = schedule.resource_usage()
+        if all(
+            count <= allocation.count(rc) for rc, count in usage.items()
+        ):
+            if steps != start:
+                diagnostics.append(
+                    {
+                        "event": "horizon-extended",
+                        "from": start,
+                        "to": steps,
+                        "reason": "allocation tighter than the "
+                        "critical-path concurrency",
+                    }
+                )
+            return schedule
+    raise SchedulingError(
+        f"force-directed scheduling found no allocation-feasible "
+        f"schedule within horizon {limit}"
+    )
+
+
+def _check_fits_allocation(schedule, allocation, name: str):
+    over = {
+        rc.value: (count, allocation.count(rc))
+        for rc, count in schedule.resource_usage().items()
+        if count > allocation.count(rc)
+    }
+    if over:
+        detail = ", ".join(
+            f"{rc}: needs {need}, allocated {have}"
+            for rc, (need, have) in sorted(over.items())
+        )
+        raise SchedulingError(
+            f"{name} schedule exceeds the allocation ({detail}); "
+            f"{name} scheduling is resource-unconstrained — use 'list', "
+            f"'exact' or 'force-directed', or allocate more units"
+        )
+    return schedule
+
+
+@SCHEDULERS.register(
+    "asap", summary="as soon as possible (must fit the allocation)"
+)
+def _asap_scheduler(dfg, allocation, *, diagnostics, **options):
+    return _check_fits_allocation(asap_schedule(dfg), allocation, "asap")
+
+
+@SCHEDULERS.register(
+    "alap", summary="as late as possible (must fit the allocation)"
+)
+def _alap_scheduler(
+    dfg, allocation, *, diagnostics, horizon: "int | None" = None, **options
+):
+    return _check_fits_allocation(
+        alap_schedule(dfg, horizon=horizon), allocation, "alap"
+    )
+
+
+# ----------------------------------------------------------------------
+# Order objectives:
+#   (dfg, allocation, schedule, *, diagnostics, **options) -> order
+# ----------------------------------------------------------------------
+@ORDER_OBJECTIVES.register(
+    "latency", summary="each op joins the unit that frees earliest"
+)
+def _latency_objective(dfg, allocation, schedule, *, diagnostics, **options):
+    return order_based_schedule(
+        dfg, allocation, schedule, objective="latency"
+    )
+
+
+@ORDER_OBJECTIVES.register(
+    "communication",
+    summary="prefer the unit holding a data neighbour (fewer wires)",
+)
+def _communication_objective(
+    dfg, allocation, schedule, *, diagnostics, **options
+):
+    return order_based_schedule(
+        dfg, allocation, schedule, objective="communication"
+    )
+
+
+# ----------------------------------------------------------------------
+# Binders: (dfg, allocation, order, *, diagnostics, **options) -> bound
+# ----------------------------------------------------------------------
+@BINDERS.register(
+    "chain", summary="i-th chain of a class onto the i-th unit (Fig. 3c)"
+)
+def _chain_binder(dfg, allocation, order, *, diagnostics, **options):
+    return bind(dfg, allocation, order)
+
+
+# ----------------------------------------------------------------------
+# Controller backends
+# ----------------------------------------------------------------------
+@CONTROLLER_BACKENDS.register(
+    "dist", summary="distributed per-unit controllers (paper §4.1)"
+)
+def _dist_backend(bound, taubm, *, diagnostics, **options):
+    return build_distributed_control_unit(bound)
+
+
+@CONTROLLER_BACKENDS.register(
+    "cent-sync", summary="synchronized centralized TAUBM FSM (Fig. 4b)"
+)
+def _cent_sync_backend(bound, taubm, *, diagnostics, **options):
+    return derive_cent_sync_fsm(taubm, bound)
+
+
+@CONTROLLER_BACKENDS.register(
+    "cent", summary="full centralized product FSM (Fig. 4a)"
+)
+def _cent_backend(bound, taubm, *, diagnostics, **options):
+    return build_cent_fsm(bound)

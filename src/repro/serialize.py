@@ -9,12 +9,22 @@ reproduces the machine bit-for-bit (tests enforce it).
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from .core.dfg import ConstRef, DataflowGraph, InputRef, OpRef, Operand
-from .core.ops import OpType
+from .core.ops import OpType, ResourceClass
 from .errors import ReproError
 from .fsm.model import FSM, Transition
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from .binding.binder import BoundDataflowGraph
+    from .control.distributed import DistributedControlUnit
+    from .resources.allocation import ResourceAllocation
+    from .scheduling.schedule import (
+        OrderSchedule,
+        TaubmSchedule,
+        TimeStepSchedule,
+    )
 
 FORMAT_VERSION = 1
 
@@ -140,6 +150,188 @@ def fsm_from_dict(data: Mapping[str, Any]) -> FSM:
     )
     fsm.validate()
     return fsm
+
+
+# ----------------------------------------------------------------------
+# Pipeline artifacts
+#
+# Every intermediate of the synthesis pipeline serializes to plain JSON
+# data and round-trips exactly.  The ``*_from_dict`` functions take the
+# upstream artifacts they reference (graph, allocation, order) as
+# explicit context instead of embedding copies, which is what lets the
+# per-pass artifact cache (:mod:`repro.pipeline`) rebuild any pass
+# output from its payload plus the artifacts already in the store.
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule: "TimeStepSchedule") -> dict[str, Any]:
+    """Serialize a time-step schedule (start times only)."""
+    return {
+        "format": FORMAT_VERSION,
+        "start": {name: int(t) for name, t in schedule.start.items()},
+    }
+
+
+def schedule_from_dict(
+    data: Mapping[str, Any], dfg: DataflowGraph
+) -> "TimeStepSchedule":
+    """Rebuild a time-step schedule over an existing graph."""
+    from .scheduling.schedule import TimeStepSchedule
+
+    _check_format(data, "schedule")
+    return TimeStepSchedule(
+        dfg=dfg,
+        start={name: int(t) for name, t in data["start"].items()},
+    )
+
+
+def order_to_dict(order: "OrderSchedule") -> dict[str, Any]:
+    """Serialize an order-based schedule (chains + schedule arcs)."""
+    return {
+        "format": FORMAT_VERSION,
+        "chains": [
+            [rc.value, [list(chain) for chain in chains]]
+            for rc, chains in order.chains.items()
+        ],
+        "schedule_arcs": [list(arc) for arc in order.schedule_arcs],
+    }
+
+
+def order_from_dict(
+    data: Mapping[str, Any], dfg: DataflowGraph
+) -> "OrderSchedule":
+    """Rebuild an order-based schedule over an existing graph."""
+    from .scheduling.schedule import OrderSchedule
+
+    _check_format(data, "order schedule")
+    chains = {
+        ResourceClass(rc_value): tuple(
+            tuple(chain) for chain in rc_chains
+        )
+        for rc_value, rc_chains in data["chains"]
+    }
+    arcs = tuple((u, v) for u, v in data["schedule_arcs"])
+    return OrderSchedule(dfg=dfg, chains=chains, schedule_arcs=arcs)
+
+
+def bound_to_dict(bound: "BoundDataflowGraph") -> dict[str, Any]:
+    """Serialize a bound graph (its order plus the unit binding)."""
+    return {
+        "format": FORMAT_VERSION,
+        "order": order_to_dict(bound.order),
+        "binding": dict(bound.binding),
+    }
+
+
+def bound_from_dict(
+    data: Mapping[str, Any],
+    dfg: DataflowGraph,
+    allocation: "ResourceAllocation",
+) -> "BoundDataflowGraph":
+    """Rebuild a bound graph over an existing graph and allocation."""
+    from .binding.binder import BoundDataflowGraph
+
+    _check_format(data, "bound graph")
+    return BoundDataflowGraph(
+        dfg=dfg,
+        allocation=allocation,
+        order=order_from_dict(data["order"], dfg),
+        binding={str(op): str(unit) for op, unit in data["binding"].items()},
+    )
+
+
+def taubm_to_dict(taubm: "TaubmSchedule") -> dict[str, Any]:
+    """Serialize a TAUBM schedule (base start times + annotated steps)."""
+    return {
+        "format": FORMAT_VERSION,
+        "base": schedule_to_dict(taubm.base),
+        "steps": [
+            {
+                "index": step.index,
+                "ops": list(step.ops),
+                "tau_ops": list(step.tau_ops),
+            }
+            for step in taubm.steps
+        ],
+    }
+
+
+def taubm_from_dict(
+    data: Mapping[str, Any], dfg: DataflowGraph
+) -> "TaubmSchedule":
+    """Rebuild a TAUBM schedule over an existing graph."""
+    from .scheduling.schedule import TaubmSchedule, TaubmStep
+
+    _check_format(data, "TAUBM schedule")
+    steps = tuple(
+        TaubmStep(
+            index=int(step["index"]),
+            ops=tuple(step["ops"]),
+            tau_ops=tuple(step["tau_ops"]),
+        )
+        for step in data["steps"]
+    )
+    return TaubmSchedule(
+        base=schedule_from_dict(data["base"], dfg), steps=steps
+    )
+
+
+def distributed_to_dict(
+    unit: "DistributedControlUnit",
+) -> dict[str, Any]:
+    """Serialize a distributed control unit (controllers, nets, pruning).
+
+    Controller and net order is preserved as explicit lists so the
+    rebuilt unit iterates — and therefore describes and fingerprints —
+    identically to the original.
+    """
+    return {
+        "format": FORMAT_VERSION,
+        "controllers": [
+            [name, fsm_to_dict(fsm)]
+            for name, fsm in unit.controllers.items()
+        ],
+        "nets": [
+            {
+                "producer_op": net.producer_op,
+                "producer_unit": net.producer_unit,
+                "consumer_units": list(net.consumer_units),
+            }
+            for net in unit.nets
+        ],
+        "pruned_signals": list(unit.pruned_signals),
+    }
+
+
+def distributed_from_dict(
+    data: Mapping[str, Any], bound: "BoundDataflowGraph"
+) -> "DistributedControlUnit":
+    """Rebuild a distributed control unit over an existing bound graph."""
+    from .control.distributed import DistributedControlUnit
+    from .control.netlist import CompletionNet
+
+    _check_format(data, "distributed control unit")
+    return DistributedControlUnit(
+        bound=bound,
+        controllers={
+            name: fsm_from_dict(fsm_data)
+            for name, fsm_data in data["controllers"]
+        },
+        nets=tuple(
+            CompletionNet(
+                producer_op=net["producer_op"],
+                producer_unit=net["producer_unit"],
+                consumer_units=tuple(net["consumer_units"]),
+            )
+            for net in data["nets"]
+        ),
+        pruned_signals=tuple(data["pruned_signals"]),
+    )
+
+
+def _check_format(data: Mapping[str, Any], what: str) -> None:
+    if data.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported {what} format {data.get('format')!r}"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -67,6 +67,32 @@ class TestSynthesize:
         comparison = result.latency_comparison(ps=(0.5,))
         assert list(comparison.dist.expected_cycles) == [0.5]
 
+    def test_force_directed_scheduler_by_name(self):
+        """Satellite: the force-directed scheduler is a first-class choice."""
+        result = synthesize(fir3(), "mul:2T,add:1",
+                            scheduler="force-directed")
+        usage = result.schedule.resource_usage()
+        for rc, count in usage.items():
+            assert count <= result.allocation.count(rc)
+        assert result.distributed.describe()
+
+    def test_unknown_scheduler_rejected(self):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="unknown scheduler"):
+            synthesize(fir3(), "mul:2T,add:1", scheduler="bogus")
+
+    def test_cache_kwarg(self, tmp_path):
+        from repro.perf.cache import SynthesisCache
+
+        cache = SynthesisCache(str(tmp_path / "cache"))
+        first = synthesize(fir3(), "mul:2T,add:1", cache=cache)
+        second = synthesize(fir3(), "mul:2T,add:1", cache=cache)
+        assert cache.hits > 0
+        from repro.serialize import design_to_dict, dumps
+
+        assert dumps(design_to_dict(first)) == dumps(design_to_dict(second))
+
 
 class TestPublicSurface:
     def test_top_level_exports(self):

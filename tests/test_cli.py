@@ -55,6 +55,74 @@ class TestSynthesizeCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPipelineCommand:
+    def test_list_shows_passes_and_registries(self, capsys):
+        assert main(["pipeline", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("validate", "schedule", "order", "bind", "taubm",
+                     "distributed", "cent-fsms"):
+            assert name in out
+        assert "force-directed" in out
+        assert "cent-sync" in out
+
+    def test_run_renders_manifest(self, capsys):
+        assert main(["pipeline", "fir3"]) == 0
+        out = capsys.readouterr().out
+        assert "distributed" in out
+        assert "computed" in out
+        assert "cache:" in out
+
+    def test_upto_stops_early(self, capsys):
+        assert main(["pipeline", "fir3", "--to", "order"]) == 0
+        out = capsys.readouterr().out
+        assert "order" in out and "bind" not in out
+
+    def test_manifest_file_written(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "manifest.json"
+        assert main(["pipeline", "fir3", "--manifest", str(manifest)]) == 0
+        data = json.loads(manifest.read_text())
+        assert [p["pass"] for p in data["passes"]] == [
+            "validate", "schedule", "order", "bind", "taubm", "distributed",
+        ]
+        assert all("wall_time_s" in p for p in data["passes"])
+
+    def test_assert_all_cached_cold_then_warm(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        # cold run: nothing cached yet, the assertion fails
+        assert main(
+            ["pipeline", "fir3", "--cache-dir", cache_dir,
+             "--assert-all-cached"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+        # warm run: every pass replays from the cache directory
+        assert main(
+            ["pipeline", "fir3", "--cache-dir", cache_dir,
+             "--assert-all-cached"]
+        ) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_missing_benchmark_rejected(self, capsys):
+        assert main(["pipeline"]) == 2
+        assert "benchmark" in capsys.readouterr().err
+
+    def test_scheduler_and_objective_flags(self, capsys):
+        assert main(
+            ["pipeline", "diffeq", "--scheduler", "force-directed",
+             "--objective", "communication", "--to", "bind"]
+        ) == 0
+        assert "bind" in capsys.readouterr().out
+
+
+class TestSchedulerFlag:
+    def test_synthesize_force_directed(self, capsys):
+        assert main(
+            ["synthesize", "fir3", "--scheduler", "force-directed"]
+        ) == 0
+        assert "schedule" in capsys.readouterr().out
+
+
 class TestSimulateCommand:
     def test_reports_latency(self, capsys):
         assert main(["simulate", "fir3", "--p", "1.0"]) == 0
@@ -110,6 +178,13 @@ class TestExperimentsCommand:
         assert main(["experiments", "nope"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["experiments", "pipeline", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert list(cache_dir.glob("*.syn.json"))
+
 
 class TestBenchCommand:
     def test_quick_bench_writes_report(self, tmp_path, capsys):
@@ -123,6 +198,18 @@ class TestBenchCommand:
         )
         assert "repro bench" in capsys.readouterr().out
         assert "fig3" in out.read_text()
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "BENCH.json"
+        assert (
+            main(
+                ["bench", "fig3", "--quick", "--trials", "8", "-j", "2",
+                 "--cache-dir", str(cache_dir), "-o", str(out)]
+            )
+            == 0
+        )
+        assert list(cache_dir.glob("*.syn.json"))
 
 
 class TestFaultsWorkersFlag:

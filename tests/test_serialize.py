@@ -94,6 +94,117 @@ class TestFsmRoundTrip:
             fsm_from_dict(data)
 
 
+class TestPipelineArtifactRoundTrip:
+    """Every pipeline artifact survives a JSON round-trip byte-for-byte."""
+
+    def test_schedule(self, fig3_result):
+        from repro.serialize import schedule_from_dict, schedule_to_dict
+
+        schedule = fig3_result.schedule
+        clone = schedule_from_dict(
+            loads(dumps(schedule_to_dict(schedule))), fig3_result.dfg
+        )
+        assert clone == schedule
+        assert dumps(schedule_to_dict(clone)) == dumps(
+            schedule_to_dict(schedule)
+        )
+
+    def test_order(self, fig3_result):
+        from repro.serialize import order_from_dict, order_to_dict
+
+        order = fig3_result.order
+        clone = order_from_dict(
+            loads(dumps(order_to_dict(order))), fig3_result.dfg
+        )
+        assert clone == order
+        assert dumps(order_to_dict(clone)) == dumps(order_to_dict(order))
+
+    def test_bound(self, fig3_result):
+        from repro.perf.cache import artifact_fingerprint
+        from repro.serialize import bound_from_dict, bound_to_dict
+
+        bound = fig3_result.bound
+        clone = bound_from_dict(
+            loads(dumps(bound_to_dict(bound))),
+            fig3_result.dfg,
+            fig3_result.allocation,
+        )
+        assert clone.binding == bound.binding
+        assert artifact_fingerprint(clone) == artifact_fingerprint(bound)
+
+    def test_taubm(self, fig3_result):
+        from repro.perf.cache import artifact_fingerprint
+        from repro.serialize import taubm_from_dict, taubm_to_dict
+
+        taubm = fig3_result.taubm
+        clone = taubm_from_dict(
+            loads(dumps(taubm_to_dict(taubm))), fig3_result.dfg
+        )
+        assert artifact_fingerprint(clone) == artifact_fingerprint(taubm)
+
+    def test_distributed(self, fig3_result):
+        from repro.perf.cache import artifact_fingerprint
+        from repro.serialize import (
+            distributed_from_dict,
+            distributed_to_dict,
+        )
+
+        distributed = fig3_result.distributed
+        clone = distributed_from_dict(
+            loads(dumps(distributed_to_dict(distributed))),
+            fig3_result.bound,
+        )
+        assert clone.unit_names == distributed.unit_names
+        assert clone.pruned_signals == distributed.pruned_signals
+        assert artifact_fingerprint(clone) == artifact_fingerprint(
+            distributed
+        )
+
+    def test_distributed_clone_simulates_identically(self, fig3_result):
+        from repro.resources import AllSlowCompletion
+        from repro.serialize import (
+            distributed_from_dict,
+            distributed_to_dict,
+        )
+        from repro.sim import simulate, system_from_bound
+
+        clone = distributed_from_dict(
+            distributed_to_dict(fig3_result.distributed), fig3_result.bound
+        )
+        original = simulate(
+            fig3_result.distributed_system(),
+            fig3_result.bound,
+            AllSlowCompletion(),
+        )
+        restored = simulate(
+            system_from_bound(fig3_result.bound, dict(clone.controllers)),
+            fig3_result.bound,
+            AllSlowCompletion(),
+        )
+        assert restored.cycles == original.cycles
+        assert restored.finish_cycles == original.finish_cycles
+
+    def test_bad_formats_rejected(self, fig3_result):
+        from repro.serialize import (
+            bound_from_dict,
+            distributed_from_dict,
+            order_from_dict,
+            schedule_from_dict,
+            taubm_from_dict,
+        )
+
+        cases = [
+            (schedule_from_dict, (fig3_result.dfg,)),
+            (order_from_dict, (fig3_result.dfg,)),
+            (bound_from_dict, (fig3_result.dfg, fig3_result.allocation)),
+            (taubm_from_dict, (fig3_result.dfg,)),
+            (distributed_from_dict, (fig3_result.bound,)),
+        ]
+        for loader, context in cases:
+            with pytest.raises(ReproError, match="unsupported"):
+                loader({"format": 99}, *context)
+
+
 class TestDesignRecord:
     def test_design_record_fields(self, fig3_result):
         record = design_to_dict(fig3_result)
