@@ -80,6 +80,9 @@ class SynthesisResult:
         style: str = "dist",
         workers: "int | None" = 1,
         cache: "SimulationCache | None" = None,
+        policy=None,
+        report=None,
+        checkpoint=None,
     ) -> "LatencyStatistics":
         """Monte-Carlo first-iteration latency of one controller style.
 
@@ -87,6 +90,9 @@ class SynthesisResult:
         ``workers`` fans trials out over the parallel engine
         (:mod:`repro.perf`) with byte-identical statistics, and
         ``cache`` short-circuits previously simulated trials.
+        ``policy``/``report`` supervise the pool and ``checkpoint``
+        journals completed trials for byte-identical resume — see
+        :mod:`repro.runtime`.
         """
         from .sim.runner import monte_carlo_latency
 
@@ -98,6 +104,9 @@ class SynthesisResult:
             seed=seed,
             workers=workers,
             cache=cache,
+            policy=policy,
+            report=report,
+            checkpoint=checkpoint,
         )
 
     def system(self, style: str = "dist") -> ControllerSystem:
@@ -120,6 +129,9 @@ class SynthesisResult:
         p: float = 0.7,
         styles: Sequence[str] = ("dist", "cent-sync"),
         workers: "int | None" = 1,
+        policy=None,
+        report=None,
+        checkpoint=None,
     ) -> "FaultCampaignReport":
         """Run a seeded fault-injection campaign on this design.
 
@@ -127,13 +139,16 @@ class SynthesisResult:
         classifies each run as detected / tolerated / silent — see
         :mod:`repro.faults`.  The report compares the distributed unit's
         vulnerability against the synchronized centralized baseline.
-        ``workers`` parallelizes trials without changing the report.
+        ``workers`` parallelizes trials without changing the report;
+        ``policy``/``report`` supervise the pool and ``checkpoint``
+        journals completed trials for byte-identical resume.
         """
         from .faults.campaign import run_campaign
 
         return run_campaign(
             self, trials=trials, seed=seed, p=p, styles=styles,
-            workers=workers,
+            workers=workers, policy=policy, report=report,
+            checkpoint=checkpoint,
         )
 
 

@@ -7,6 +7,8 @@ Gives the library's main flows a shell-level surface::
     python -m repro synthesize fir5 --allocation "mul:3T,add:2" --verilog out.v
     python -m repro simulate fir5 --p 0.7 --trace --vcd fir5.vcd
     python -m repro faults diffeq --trials 100 --seed 0 -j 4
+    python -m repro faults diffeq --checkpoint-dir ckpt --retries 3
+    python -m repro resume ckpt
     python -m repro table1
     python -m repro table2
     python -m repro distribution fir5 --p 0.7
@@ -14,6 +16,15 @@ Gives the library's main flows a shell-level surface::
     python -m repro bench --quick -o BENCH_core.json
     python -m repro pipeline --list
     python -m repro pipeline diffeq --cache-dir .repro-cache --manifest m.json
+
+Long-running commands (``faults``, ``experiments``, ``bench``,
+``table2``) accept ``--checkpoint-dir DIR``: completed trials are
+journaled there and a ``manifest.json`` records the invocation, so an
+interrupted run picks up where it left off with ``repro resume DIR`` —
+producing output byte-identical to an uninterrupted run.  Every command
+runs under an ambient :class:`~repro.runtime.policy.RunReport`;
+recoveries (worker crashes survived, corrupt cache entries quarantined,
+retries) are summarized on stderr.
 """
 
 from __future__ import annotations
@@ -38,6 +49,49 @@ from .resources.allocation import ResourceAllocation
 from .resources.completion import BernoulliCompletion
 from .sim.simulator import simulate
 from .sim.vcd import trace_to_vcd
+
+
+#: name of the invocation record ``--checkpoint-dir`` writes
+RESUME_MANIFEST = "manifest.json"
+
+
+def _policy_from_args(args) -> "object | None":
+    """Build a :class:`~repro.runtime.policy.RunPolicy` from CLI flags.
+
+    Returns ``None`` (no supervision) unless at least one policy flag
+    was given — the unsupervised pool stays the zero-overhead default.
+    """
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", None)
+    on_failure = getattr(args, "on_failure", None)
+    if timeout is None and retries is None and on_failure is None:
+        return None
+    from .runtime.policy import RunPolicy
+
+    return RunPolicy(
+        timeout_s=timeout,
+        max_retries=retries if retries is not None else 2,
+        on_failure=on_failure if on_failure is not None else "retry",
+    )
+
+
+def _write_resume_manifest(checkpoint_dir: str, argv: "Sequence[str]"):
+    """Record the invocation so ``repro resume`` can replay it."""
+    import json
+    import os
+
+    from .runtime.journal import atomic_write_text
+
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    atomic_write_text(
+        os.path.join(checkpoint_dir, RESUME_MANIFEST),
+        json.dumps(
+            {"schema": 1, "argv": list(argv)},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
 
 
 def _benchmark_design(args) -> "tuple":
@@ -164,6 +218,8 @@ def _cmd_faults(args) -> int:
         styles=styles,
         benchmark=entry.name,
         workers=args.workers,
+        policy=_policy_from_args(args),
+        checkpoint=args.checkpoint_dir,
     )
     print(report.render())
     if args.json:
@@ -188,7 +244,9 @@ def _cmd_table1(args) -> int:
 def _cmd_table2(args) -> int:
     from .experiments.table2 import run_table2
 
-    result = run_table2()
+    result = run_table2(
+        workers=args.workers, checkpoint=args.checkpoint_dir
+    )
     print(result.render())
     result.check_shape()
     return 0
@@ -207,24 +265,36 @@ def _cmd_report(args) -> int:
     return 0
 
 
-#: experiment drivers runnable via ``repro experiments``; ``True`` marks
-#: drivers that accept a ``workers`` argument
+#: keyword arguments the parallel experiment drivers accept beyond
+#: their defaults (see ``_cmd_experiments``)
+_PARALLEL_KWARGS = frozenset({"workers", "policy", "checkpoint"})
+
+#: experiment drivers runnable via ``repro experiments``, mapping name
+#: to (module, function, extra kwargs the driver accepts)
 _EXPERIMENT_DRIVERS = {
-    "psweep": ("repro.experiments.ablations", "run_psweep", False),
-    "sdld": ("repro.experiments.ablations", "run_sdld_sweep", False),
-    "opdist": ("repro.experiments.ablations", "run_opdist", False),
-    "pipeline": ("repro.experiments.ablations", "run_pipeline", False),
-    "csg": ("repro.experiments.ablations", "run_csg_sweep", False),
-    "multilevel": ("repro.experiments.ablations", "run_multilevel", True),
-    "physical": ("repro.experiments.ablations", "run_physical", True),
+    "psweep": ("repro.experiments.ablations", "run_psweep", frozenset()),
+    "sdld": ("repro.experiments.ablations", "run_sdld_sweep", frozenset()),
+    "opdist": ("repro.experiments.ablations", "run_opdist", frozenset()),
+    "pipeline": (
+        "repro.experiments.ablations", "run_pipeline", frozenset()
+    ),
+    "csg": ("repro.experiments.ablations", "run_csg_sweep", frozenset()),
+    "multilevel": (
+        "repro.experiments.ablations", "run_multilevel", _PARALLEL_KWARGS
+    ),
+    "physical": (
+        "repro.experiments.ablations", "run_physical", _PARALLEL_KWARGS
+    ),
     "encoding": (
-        "repro.experiments.ablations", "run_encoding_ablation", False
+        "repro.experiments.ablations", "run_encoding_ablation", frozenset()
     ),
     "communication": (
-        "repro.experiments.ablations", "run_communication_binding", False
+        "repro.experiments.ablations",
+        "run_communication_binding",
+        frozenset(),
     ),
-    "activity": ("repro.experiments.ablations", "run_activity", False),
-    "fig4": ("repro.experiments.figures", "run_fig4", True),
+    "activity": ("repro.experiments.ablations", "run_activity", frozenset()),
+    "fig4": ("repro.experiments.figures", "run_fig4", _PARALLEL_KWARGS),
 }
 
 
@@ -247,15 +317,20 @@ def _cmd_experiments(args) -> int:
                 file=sys.stderr,
             )
             return 1
+    available = {
+        "workers": args.workers,
+        "policy": _policy_from_args(args),
+        "checkpoint": args.checkpoint_dir,
+    }
     previous = (
         set_default_synthesis_cache(cache) if cache is not None else None
     )
     try:
         first = True
         for name in names:
-            module_name, func_name, takes_workers = _EXPERIMENT_DRIVERS[name]
+            module_name, func_name, accepts = _EXPERIMENT_DRIVERS[name]
             runner = getattr(importlib.import_module(module_name), func_name)
-            kwargs = {"workers": args.workers} if takes_workers else {}
+            kwargs = {k: available[k] for k in accepts}
             if not first:
                 print()
             first = False
@@ -278,6 +353,7 @@ def _cmd_bench(args) -> int:
         workers=args.workers,
         seed=args.seed,
         cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
     )
     print(report.render())
     if args.output:
@@ -359,6 +435,37 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_resume(args) -> int:
+    import json
+    import os
+
+    manifest_path = os.path.join(args.checkpoint, RESUME_MANIFEST)
+    try:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(
+            f"error: cannot read resume manifest {manifest_path!r}: "
+            f"{exc}",
+            file=sys.stderr,
+        )
+        return 1
+    argv = manifest.get("argv")
+    if not (
+        isinstance(argv, list)
+        and argv
+        and all(isinstance(item, str) for item in argv)
+    ):
+        print(
+            f"error: {manifest_path!r} does not record a resumable "
+            f"invocation",
+            file=sys.stderr,
+        )
+        return 1
+    print("resuming: repro " + " ".join(argv), file=sys.stderr)
+    return main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -382,6 +489,47 @@ def build_parser() -> argparse.ArgumentParser:
             help=(
                 "parallel worker processes (1 = serial, 0 = auto); "
                 "results are identical for any value"
+            ),
+        )
+
+    def add_checkpoint_arg(p):
+        p.add_argument(
+            "--checkpoint-dir",
+            metavar="DIR",
+            help=(
+                "journal completed trials in DIR; an interrupted run "
+                "continues with 'repro resume DIR', byte-identically"
+            ),
+        )
+
+    def add_policy_args(p):
+        from .runtime.policy import ON_FAILURE_CHOICES
+
+        p.add_argument(
+            "--timeout",
+            type=float,
+            metavar="SECONDS",
+            help=(
+                "per-trial timeout; hung workers are abandoned and "
+                "their trials re-run in-process (enables supervision)"
+            ),
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            metavar="N",
+            help=(
+                "pool re-submissions per failing trial, with "
+                "deterministic backoff (enables supervision; default 2)"
+            ),
+        )
+        p.add_argument(
+            "--on-failure",
+            choices=ON_FAILURE_CHOICES,
+            help=(
+                "once retries are exhausted: keep raising, run the "
+                "trial in-process, skip it, or fail fast "
+                "(enables supervision; default: retry)"
             ),
         )
 
@@ -447,15 +595,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero on any silent corruption escape",
     )
     add_workers_arg(p_flt)
+    add_checkpoint_arg(p_flt)
+    add_policy_args(p_flt)
     p_flt.set_defaults(func=_cmd_faults)
 
     p_t1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     p_t1.add_argument("benchmark", nargs="?", default="diffeq")
     p_t1.set_defaults(func=_cmd_table1)
 
-    sub.add_parser(
-        "table2", help="regenerate the paper's Table 2"
-    ).set_defaults(func=_cmd_table2)
+    p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    add_workers_arg(p_t2)
+    add_checkpoint_arg(p_t2)
+    p_t2.set_defaults(func=_cmd_table2)
 
     p_rep = sub.add_parser(
         "report", help="run every experiment and emit a markdown report"
@@ -489,6 +640,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_workers_arg(p_exp)
+    add_checkpoint_arg(p_exp)
+    add_policy_args(p_exp)
     p_exp.add_argument(
         "--cache-dir",
         help=(
@@ -532,7 +685,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="directory for the synthesis-artifact cache",
     )
+    add_checkpoint_arg(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_res = sub.add_parser(
+        "resume",
+        help=(
+            "continue an interrupted --checkpoint-dir run from its "
+            "journal (byte-identical output)"
+        ),
+    )
+    p_res.add_argument(
+        "checkpoint",
+        metavar="DIR",
+        help="checkpoint directory of the interrupted run",
+    )
+    p_res.set_defaults(func=_cmd_resume)
 
     p_pipe = sub.add_parser(
         "pipeline",
@@ -596,14 +764,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every command runs under an ambient
+    :class:`~repro.runtime.policy.RunReport`; any recoveries (retries,
+    pool restarts, quarantined cache entries) are summarized on stderr
+    after the command's own output.  Commands invoked with
+    ``--checkpoint-dir`` additionally record their invocation in the
+    checkpoint directory so ``repro resume`` can replay them.
+    """
+    from .runtime.policy import active_report
+
     parser = build_parser()
-    args = parser.parse_args(argv)
-    try:
-        return args.func(args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    actual_argv = list(argv) if argv is not None else sys.argv[1:]
+    args = parser.parse_args(actual_argv)
+    if getattr(args, "checkpoint_dir", None):
+        _write_resume_manifest(args.checkpoint_dir, actual_argv)
+    with active_report() as report:
+        try:
+            return args.func(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        finally:
+            if report.recoveries:
+                print(report.render(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

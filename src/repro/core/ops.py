@@ -70,6 +70,13 @@ class OpType(enum.Enum):
             )
         return self.evaluator(*operands)
 
+    def __reduce_ex__(self, protocol: int):
+        # Enums with tuple values pickle *by value* by default — and this
+        # value tuple holds a lambda, which made every design object
+        # (hence every parallel work item) silently unpicklable.  Pickle
+        # by name instead so designs cross process boundaries.
+        return getattr, (type(self), self.name)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"OpType.{self.name}"
 

@@ -165,6 +165,48 @@ class LogicError(ReproError):
     """A boolean-logic object (cover, cube, function) is malformed."""
 
 
+class SupervisionError(ReproError):
+    """A supervised work item exhausted its recovery budget.
+
+    Raised by :func:`repro.runtime.supervisor.supervised_map` when an
+    item keeps failing after ``max_retries`` attempts under a
+    :class:`~repro.runtime.policy.RunPolicy` whose ``on_failure`` is
+    ``"retry"`` or ``"raise"``.  Carries the item index and attempt
+    count so a campaign log can name the poison trial directly.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        item: "int | None" = None,
+        attempts: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.item = item
+        self.attempts = attempts
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is unusable (unwritable directory, ...)."""
+
+
+class CheckpointInterrupted(CheckpointError):
+    """A run stopped after reaching its new-shard budget.
+
+    The deterministic stand-in for ``kill -9`` in tests and chaos
+    drills: a :class:`~repro.runtime.journal.CheckpointJournal` built
+    with ``max_new_shards=N`` raises this after persisting ``N`` new
+    shards, leaving the journal exactly as a real interruption would.
+    """
+
+    def __init__(
+        self, message: str, *, shards_written: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.shards_written = shards_written
+
+
 class PipelineError(ReproError):
     """A synthesis pipeline is misconfigured or was driven incorrectly."""
 
@@ -175,4 +217,15 @@ class SchedulingFallbackWarning(UserWarning):
     Emitted (never raised) when the exact branch-and-bound scheduler
     exceeds its search budget and the flow falls back to list scheduling;
     the run manifest records the same event as a structured diagnostic.
+    """
+
+
+class SerialFallbackWarning(UserWarning):
+    """A parallel map silently degraded to the serial in-process loop.
+
+    Emitted (never raised) when ``workers > 1`` was requested but the
+    function or its payload cannot cross a process boundary (closures,
+    lambdas, open handles), so the requested ``-j`` speedup was lost.
+    Results are unchanged — only wall-clock time is affected.  The
+    deliberate ``workers=1`` path never warns.
     """

@@ -409,6 +409,9 @@ def run_multilevel(
     trials: int = 300,
     seed: int = 0,
     workers: "int | None" = 1,
+    policy=None,
+    report=None,
+    checkpoint=None,
 ) -> MultiLevelResult:
     """Synthesize a benchmark on 3-level VCAUs and compare schemes.
 
@@ -416,7 +419,9 @@ def run_multilevel(
     Monte-Carlo run of the cycle-accurate simulator with
     :class:`~repro.resources.completion.CategoricalCompletion` cross-checks
     the distributed number.  ``workers`` parallelizes the Monte-Carlo
-    trials (the result is identical for any worker count).
+    trials (the result is identical for any worker count);
+    ``checkpoint`` journals completed trials for byte-identical resume,
+    ``policy``/``report`` supervise the pool.
     """
     from ..analysis.latency import (
         DistLatencyEvaluator,
@@ -449,11 +454,19 @@ def run_multilevel(
     )
     from functools import partial
 
-    from ..perf.engine import parallel_map
+    from ..runtime.journal import checkpointed_map
 
     system = result.distributed_system()
+    run_key = (
+        f"multilevel|{benchmark_name}"
+        f"|delays={list(level_delays_ns)!r}"
+        f"|probs={list(level_probabilities)!r}"
+        f"|trials={trials}|seed={seed}"
+        if checkpoint is not None
+        else ""
+    )
     total = sum(
-        parallel_map(
+        checkpointed_map(
             partial(
                 _multilevel_trial,
                 system,
@@ -462,7 +475,11 @@ def run_multilevel(
                 seed,
             ),
             range(trials),
+            run_key=run_key,
+            checkpoint=checkpoint,
             workers=workers,
+            policy=policy,
+            report=report,
         )
     )
     max_extension = max(
@@ -534,6 +551,9 @@ def run_physical(
     trials: int = 120,
     seed: int = 0,
     workers: "int | None" = 1,
+    policy=None,
+    report=None,
+    checkpoint=None,
 ) -> PhysicalRunResult:
     """Drive a design with real operands through a synthesized CSG.
 
@@ -550,8 +570,8 @@ def run_physical(
         DistLatencyEvaluator,
         exact_expected_latency,
     )
-    from ..perf.engine import parallel_map
     from ..resources.completion import OperandCompletion
+    from ..runtime.journal import checkpointed_map
     from ..sim.stimulus import small_values, uniform_values
 
     mult = ArrayMultiplier(width=width)
@@ -571,7 +591,14 @@ def run_physical(
         if small_bits is not None
         else uniform_values(width)
     )
-    outcomes = parallel_map(
+    run_key = (
+        f"physical|{benchmark_name}|width={width}"
+        f"|sd_fraction={sd_fraction!r}|small_bits={small_bits}"
+        f"|trials={trials}|seed={seed}"
+        if checkpoint is not None
+        else ""
+    )
+    outcomes = checkpointed_map(
         partial(
             _physical_trial,
             result.distributed_system(),
@@ -583,7 +610,11 @@ def run_physical(
             seed,
         ),
         range(trials),
+        run_key=run_key,
+        checkpoint=checkpoint,
         workers=workers,
+        policy=policy,
+        report=report,
     )
     total_cycles = sum(cycles for cycles, _, _ in outcomes)
     fast_hits = sum(hits for _, hits, _ in outcomes)

@@ -225,15 +225,33 @@ def _fig4_point(n: int) -> tuple[int, int, int]:
 def run_fig4(
     tau_counts: Sequence[int] = (1, 2, 3, 4),
     workers: "int | None" = 1,
+    policy=None,
+    report=None,
+    checkpoint=None,
 ) -> Fig4Result:
     """Measure state growth on the pathological one-step DFGs.
 
     The product construction for the largest ``n`` dominates; ``workers``
-    builds the independent points concurrently.
+    builds the independent points concurrently.  ``checkpoint`` journals
+    each finished point for byte-identical resume; ``policy``/``report``
+    supervise the pool (see :mod:`repro.runtime`).
     """
-    from ..perf.engine import parallel_map
+    from ..runtime.journal import checkpointed_map
 
-    points = parallel_map(_fig4_point, list(tau_counts), workers=workers)
+    run_key = (
+        f"fig4|tau_counts={list(tau_counts)!r}"
+        if checkpoint is not None
+        else ""
+    )
+    points = checkpointed_map(
+        _fig4_point,
+        list(tau_counts),
+        run_key=run_key,
+        checkpoint=checkpoint,
+        workers=workers,
+        policy=policy,
+        report=report,
+    )
     return Fig4Result(
         tau_counts=tuple(tau_counts),
         cent_states=tuple(p[0] for p in points),

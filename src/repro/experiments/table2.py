@@ -100,20 +100,36 @@ def run_table2(
     exact_limit: int = 20,
     trials: int = 4000,
     workers: "int | None" = 1,
+    policy=None,
+    report=None,
+    checkpoint=None,
 ) -> Table2Result:
     """Regenerate Table 2 over the registered Table-2 benchmarks.
 
     Each row is an independent synthesis + expectation computation;
     ``workers`` distributes rows over a process pool without changing a
-    single digit of the output.
+    single digit of the output.  ``checkpoint`` journals each finished
+    row so an interrupted run resumes byte-identically; ``policy`` and
+    ``report`` supervise the pool (see :mod:`repro.runtime`).
     """
     from functools import partial
 
-    from ..perf.engine import parallel_map
+    from ..runtime.journal import checkpointed_map
 
-    rows = parallel_map(
+    work = list(entries or table2_benchmarks())
+    run_key = (
+        "table2|" + ",".join(e.name for e in work)
+        + f"|ps={list(ps)!r}|exact_limit={exact_limit}|trials={trials}"
+        if checkpoint is not None
+        else ""
+    )
+    rows = checkpointed_map(
         partial(_table2_row, tuple(ps), exact_limit, trials),
-        list(entries or table2_benchmarks()),
+        work,
+        run_key=run_key,
+        checkpoint=checkpoint,
         workers=workers,
+        policy=policy,
+        report=report,
     )
     return Table2Result(ps=tuple(ps), comparisons=tuple(rows))

@@ -484,6 +484,9 @@ def run_campaign(
     styles: Sequence[str] = STYLES,
     benchmark: "str | None" = None,
     workers: "int | None" = 1,
+    policy=None,
+    report=None,
+    checkpoint=None,
 ) -> FaultCampaignReport:
     """Sweep ``trials`` seeded faults per style over one synthesis result.
 
@@ -496,8 +499,18 @@ def run_campaign(
     :func:`~repro.perf.engine.parallel_map`; every trial is a pure
     function of ``(seed, style, trial)``, so the report — including its
     JSON rendering — is byte-identical to the serial run.
+
+    ``policy`` (a :class:`~repro.runtime.policy.RunPolicy`) supervises
+    the pool — worker crashes, hung trials and transient failures are
+    recovered instead of aborting the campaign, with every recovery
+    recorded in ``report``.  ``checkpoint`` (a directory or
+    :class:`~repro.runtime.journal.CheckpointJournal`) persists each
+    completed trial; an interrupted campaign resumed over the same
+    journal replays the finished trials and produces JSON
+    byte-identical to an uninterrupted run.
     """
-    from ..perf.engine import parallel_map
+    from ..perf.cache import design_fingerprint
+    from ..runtime.journal import checkpointed_map
 
     if trials < 1:
         raise SimulationError("a fault campaign needs >= 1 trial")
@@ -515,10 +528,23 @@ def run_campaign(
         )
         span = max(calibration.cycles, 4)
         tasks.extend((style, span, trial) for trial in range(trials))
-    records = parallel_map(
+    # the run key names everything the records depend on (and not the
+    # worker count: serial and parallel runs share a journal)
+    run_key = (
+        f"fault-campaign|{design_fingerprint(bound)}|{name}"
+        f"|trials={trials}|seed={seed}|p={p!r}"
+        f"|styles={','.join(styles)}"
+        if checkpoint is not None
+        else ""
+    )
+    records = checkpointed_map(
         partial(_run_trial, result, seed, p, inputs),
         tasks,
+        run_key=run_key,
+        checkpoint=checkpoint,
         workers=workers,
+        policy=policy,
+        report=report,
     )
     return FaultCampaignReport(
         benchmark=name,

@@ -96,6 +96,7 @@ def run_bench(
     p: float = 0.7,
     repeats: int = 3,
     cache_dir: "str | None" = None,
+    checkpoint_dir: "str | None" = None,
 ) -> BenchReport:
     """Time the core flows on ``benchmarks`` and build the report.
 
@@ -108,6 +109,11 @@ def run_bench(
     the synthesis column measures the cached path on a warm directory
     (the *result* values are identical either way — the equivalence is
     pinned by tests).
+
+    ``checkpoint_dir`` journals each finished benchmark row: an
+    interrupted sweep resumed over the same directory replays completed
+    rows (with their originally measured timings) and re-times only the
+    missing ones.
     """
     from ..analysis.latency import DistLatencyEvaluator, exact_expected_latency
     from ..api import synthesize
@@ -122,8 +128,23 @@ def run_bench(
         repeats = 1
     workers = resolve_workers(workers)
     cache = SynthesisCache(cache_dir) if cache_dir else None
+    journal = None
+    bench_key = ""
+    if checkpoint_dir is not None:
+        from ..runtime.journal import CheckpointJournal
+
+        journal = CheckpointJournal(checkpoint_dir)
+        bench_key = (
+            f"bench|quick={quick}|trials={trials}|seed={seed}|p={p!r}"
+            f"|repeats={repeats}"
+        )
     rows: dict[str, dict] = {}
     for name in benchmarks:
+        if journal is not None:
+            found, row = journal.get(journal.key(bench_key, name))
+            if found:
+                rows[name] = row
+                continue
         entry = benchmark(name)
         dfg = entry.dfg()
         allocation = entry.allocation()
@@ -179,6 +200,8 @@ def run_bench(
                 "value": round(float(value), 6),
                 "assignments": 2 ** len(tau_ops),
             }
+        if journal is not None:
+            journal.put(journal.key(bench_key, name), row)
         rows[name] = row
     data = {
         "schema": 1,

@@ -21,6 +21,15 @@ Entries store the cheap, deterministic subset of a
 :class:`~repro.sim.simulator.SimulationResult` (cycle counts, per-op
 outcomes — never traces or datapaths), JSON-serializable so a cache can
 persist to a directory and survive across processes.
+
+On-disk entries are **self-healing**: every file embeds a SHA-256
+checksum of its canonical payload and is published with an atomic
+write-temp-then-rename, so a crash mid-``put`` can never tear an
+entry.  A corrupt, truncated or checksum-failing file found by ``get``
+is *quarantined* (renamed ``*.corrupt``), counted on the cache and
+reported to the ambient :class:`~repro.runtime.policy.RunReport`, and
+the result is simply recomputed — corruption costs time, never
+correctness and never an exception out of ``get``.
 """
 
 from __future__ import annotations
@@ -29,6 +38,9 @@ import hashlib
 import json
 import os
 from typing import TYPE_CHECKING, Mapping
+
+from ..runtime.journal import atomic_write_text
+from ..runtime.policy import record_event
 
 from ..serialize import dfg_to_dict
 from ..sim.simulator import SimulationResult
@@ -233,6 +245,71 @@ def _digest(payload: object) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+# ----------------------------------------------------------------------
+# Self-healing cache files
+#
+# One envelope for both caches: {"sha256": <digest of canonical
+# payload>, "payload": {...}}, written atomically.  Reading verifies
+# the checksum; anything unreadable or mismatching is quarantined and
+# treated as a miss.  Legacy files (bare payloads from before the
+# envelope existed) are still accepted — they simply carry no checksum.
+# ----------------------------------------------------------------------
+def _write_entry(file_path: str, payload: object) -> None:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    envelope = json.dumps(
+        {
+            "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            "payload": json.loads(text),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    atomic_write_text(file_path, envelope)
+
+
+def _quarantine_entry(cache, file_path: str, reason: str) -> None:
+    try:
+        os.replace(file_path, file_path + ".corrupt")
+    except OSError:  # pragma: no cover - racing cleanup
+        pass
+    cache.quarantined += 1
+    record_event(
+        None,
+        "cache-quarantine",
+        f"cache entry {os.path.basename(file_path)} {reason}; "
+        "moved aside and recomputing",
+    )
+
+
+def _read_entry(cache, file_path: str) -> "object | None":
+    """Verified payload of one cache file, or ``None`` (miss).
+
+    Corruption of any shape — unreadable bytes, truncated JSON, a
+    failing checksum — quarantines the file instead of raising.
+    """
+    try:
+        with open(file_path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, UnicodeDecodeError):
+        _quarantine_entry(cache, file_path, "is unreadable or truncated")
+        return None
+    if (
+        isinstance(data, dict)
+        and set(data.keys()) == {"sha256", "payload"}
+    ):
+        text = json.dumps(
+            data["payload"], sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        if digest != data["sha256"]:
+            _quarantine_entry(cache, file_path, "failed its checksum")
+            return None
+        return data["payload"]
+    return data  # legacy bare payload (pre-envelope format)
+
+
 def _result_to_dict(result: SimulationResult) -> dict:
     return {
         "cycles": result.cycles,
@@ -289,6 +366,7 @@ class SimulationCache:
         self._path = path
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
 
@@ -319,10 +397,17 @@ class SimulationCache:
         result = self._memory.get(key)
         if result is None and self._path is not None:
             file_path = os.path.join(self._path, f"{key}.json")
-            if os.path.exists(file_path):
-                with open(file_path) as handle:
-                    result = _result_from_dict(json.load(handle))
-                self._memory[key] = result
+            payload = _read_entry(self, file_path)
+            if payload is not None:
+                try:
+                    result = _result_from_dict(payload)
+                except (KeyError, TypeError, ValueError, AttributeError):
+                    _quarantine_entry(
+                        self, file_path, "does not decode to a result"
+                    )
+                    result = None
+                else:
+                    self._memory[key] = result
         if result is None:
             self.misses += 1
         else:
@@ -334,10 +419,7 @@ class SimulationCache:
         self._memory[key] = stored
         if self._path is not None:
             file_path = os.path.join(self._path, f"{key}.json")
-            with open(file_path, "w") as handle:
-                json.dump(
-                    _result_to_dict(stored), handle, sort_keys=True
-                )
+            _write_entry(file_path, _result_to_dict(stored))
 
 
 def _result_to_dict_kwargs(result: SimulationResult) -> dict:
@@ -405,6 +487,7 @@ class SynthesisCache:
         self._path = path
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         if path is not None:
             os.makedirs(path, exist_ok=True)
 
@@ -435,9 +518,14 @@ class SynthesisCache:
         payload = self._memory.get(key)
         if payload is None and self._path is not None:
             file_path = os.path.join(self._path, f"{key}.syn.json")
-            if os.path.exists(file_path):
-                with open(file_path) as handle:
-                    payload = json.load(handle)
+            entry = _read_entry(self, file_path)
+            if entry is not None and not isinstance(entry, dict):
+                _quarantine_entry(
+                    self, file_path, "does not decode to a pass payload"
+                )
+                entry = None
+            if entry is not None:
+                payload = entry
                 self._memory[key] = payload
         if payload is None:
             self.misses += 1
@@ -450,5 +538,4 @@ class SynthesisCache:
         self._memory[key] = json.loads(text)
         if self._path is not None:
             file_path = os.path.join(self._path, f"{key}.syn.json")
-            with open(file_path, "w") as handle:
-                handle.write(text)
+            _write_entry(file_path, json.loads(text))

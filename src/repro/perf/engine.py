@@ -15,10 +15,19 @@ ProcessPoolExecutor` while keeping three guarantees:
 2. **Chunked submission.**  Items are shipped to workers in contiguous
    chunks (``chunksize`` items per pickle round-trip), amortizing the
    serialization of the bound function over many trials.
-3. **Serial fallback.**  ``workers=1``, a single item, or an
-   unpicklable function/payload (closures, lambdas, open handles)
-   silently degrade to an in-process loop with the same output — the
-   engine never changes *what* is computed, only *where*.
+3. **Serial fallback.**  ``workers=1`` or a single item degrade to an
+   in-process loop with the same output; an unpicklable
+   function/payload (closures, lambdas, open handles) does the same
+   but emits a :class:`~repro.errors.SerialFallbackWarning` naming the
+   offending payload, so a lost ``-j`` speedup is visible — the engine
+   never changes *what* is computed, only *where*.
+4. **Supervision (opt-in).**  A
+   :class:`~repro.runtime.policy.RunPolicy` routes the pool through
+   :func:`repro.runtime.supervisor.supervised_map`: worker crashes
+   restart the pool and re-run only the lost chunks, failing items are
+   retried with backoff, hung chunks degrade to in-process execution
+   after a timeout, and every recovery lands in a structured
+   :class:`~repro.runtime.policy.RunReport`.
 """
 
 from __future__ import annotations
@@ -26,10 +35,14 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
-from ..errors import SimulationError
+from ..errors import SerialFallbackWarning, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.policy import RunPolicy, RunReport
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -89,20 +102,77 @@ def default_chunksize(num_items: int, workers: int) -> int:
     return max(1, -(-num_items // (workers * 4)))
 
 
+def _callable_name(fn: object) -> str:
+    """Compact display name for a work function (partial-aware)."""
+    import functools
+
+    if isinstance(fn, functools.partial):
+        return f"functools.partial({_callable_name(fn.func)})"
+    return (
+        getattr(fn, "__qualname__", None)
+        or getattr(fn, "__name__", None)
+        or type(fn).__name__
+    )
+
+
+def _warn_serial_fallback(
+    fn: object, payload: object, report: "RunReport | None"
+) -> None:
+    """Make a lost ``-j`` speedup loud: warning + recovery event."""
+    from ..runtime.policy import record_event
+
+    detail = (
+        f"payload for {_callable_name(fn)} cannot cross a process "
+        f"boundary (first item: {type(payload).__name__}); running "
+        f"serially in-process — results are unchanged, the requested "
+        f"-j speedup is lost"
+    )
+    warnings.warn(SerialFallbackWarning(detail), stacklevel=3)
+    record_event(report, "serial-fallback", detail)
+
+
+def _serial_map(
+    fn: Callable[[_T], _R],
+    work: Sequence[_T],
+    on_result: "Callable[[int, _R], None] | None",
+) -> list[_R]:
+    out: list[_R] = []
+    for index, item in enumerate(work):
+        value = fn(item)
+        if on_result is not None:
+            on_result(index, value)
+        out.append(value)
+    return out
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     *,
     workers: "int | None" = 1,
     chunksize: "int | None" = None,
+    policy: "RunPolicy | None" = None,
+    report: "RunReport | None" = None,
+    on_result: "Callable[[int, _R], None] | None" = None,
 ) -> list[_R]:
     """Order-preserving map of ``fn`` over ``items``.
 
     With ``workers > 1`` the map runs on a process pool with chunked
     submission; with ``workers=1`` (the default), one item, or an
-    unpicklable ``fn``/payload it runs serially in-process.  Both paths
-    return the same list as ``[fn(x) for x in items]`` — callers get
+    unpicklable ``fn``/payload it runs serially in-process (the
+    unpicklable case additionally emits a
+    :class:`~repro.errors.SerialFallbackWarning`).  Both paths return
+    the same list as ``[fn(x) for x in items]`` — callers get
     determinism for free and opt into parallelism per call.
+
+    ``policy`` (a :class:`~repro.runtime.policy.RunPolicy`) supervises
+    the pool: per-item timeouts, retries with deterministic backoff,
+    pool restarts after worker crashes — see
+    :mod:`repro.runtime.supervisor`.  Recovery events are recorded in
+    ``report`` (or the ambient
+    :func:`~repro.runtime.policy.active_report`).  ``on_result(index,
+    value)`` fires in the calling process once per completed item, in
+    completion order — checkpoint journals persist shards through it.
 
     ``fn`` must be a module-level callable (or a ``functools.partial``
     of one) whose captured arguments pickle; per-item randomness must be
@@ -113,16 +183,34 @@ def parallel_map(
         return []
     count = min(resolve_workers(workers), len(work))
     if count > 1 and not (_is_picklable(fn) and _is_picklable(work[0])):
+        _warn_serial_fallback(fn, work[0], report)
         count = 1
     if count <= 1:
-        return [fn(item) for item in work]
+        return _serial_map(fn, work, on_result)
     if chunksize is None:
         chunksize = default_chunksize(len(work), count)
+    if policy is not None:
+        from ..runtime.supervisor import supervised_map
+
+        return supervised_map(
+            fn,
+            work,
+            workers=count,
+            chunksize=chunksize,
+            policy=policy,
+            report=report,
+            on_result=on_result,
+        )
     try:
         with ProcessPoolExecutor(max_workers=count) as pool:
-            return list(pool.map(fn, work, chunksize=chunksize))
+            results = list(pool.map(fn, work, chunksize=chunksize))
     except (pickle.PicklingError, AttributeError, TypeError):
         # A payload that *claimed* picklability can still fail inside
         # the pool (e.g. results that do not unpickle); fall back rather
         # than lose the run.
-        return [fn(item) for item in work]
+        _warn_serial_fallback(fn, work[0], report)
+        return _serial_map(fn, work, on_result)
+    if on_result is not None:
+        for index, value in enumerate(results):
+            on_result(index, value)
+    return results

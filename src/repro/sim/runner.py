@@ -18,6 +18,8 @@ from .simulator import SimulationResult, simulate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..perf.cache import SimulationCache
+    from ..runtime.journal import CheckpointJournal
+    from ..runtime.policy import RunPolicy, RunReport
 
 
 def _percentile(sorted_samples: Sequence[int], q: float) -> float:
@@ -111,6 +113,9 @@ def monte_carlo_latency(
     *,
     workers: "int | None" = 1,
     cache: "SimulationCache | None" = None,
+    policy: "RunPolicy | None" = None,
+    report: "RunReport | None" = None,
+    checkpoint: "CheckpointJournal | str | None" = None,
 ) -> LatencyStatistics:
     """Simulate ``trials`` runs under Bernoulli(p) completion.
 
@@ -120,8 +125,13 @@ def monte_carlo_latency(
     changes wall-clock time only.  ``cache`` (a
     :class:`~repro.perf.cache.SimulationCache`) short-circuits trials
     already simulated for this exact design/model/seed combination.
+
+    ``policy``/``report`` supervise the pool (crash recovery, retries,
+    timeouts — see :mod:`repro.runtime`); ``checkpoint`` journals each
+    completed trial so an interrupted sweep resumes with statistics
+    byte-identical to an uninterrupted run.
     """
-    from ..perf.engine import derive_seed, parallel_map
+    from ..perf.engine import derive_seed
 
     if cache is not None:
         from ..perf.cache import simulate_cached
@@ -138,12 +148,46 @@ def monte_carlo_latency(
             for trial in range(trials)
         ]
         return LatencyStatistics.from_samples(samples)
-    samples = parallel_map(
+    from ..runtime.journal import checkpointed_map
+
+    # fingerprinting costs a serialization pass; only pay it when a
+    # journal actually needs the run key
+    run_key = (
+        _monte_carlo_run_key(system, bound, p, trials, seed)
+        if checkpoint is not None
+        else ""
+    )
+    samples = checkpointed_map(
         partial(_latency_trial, system, bound, p, seed),
         range(trials),
+        run_key=run_key,
+        checkpoint=checkpoint,
         workers=workers,
+        policy=policy,
+        report=report,
     )
     return LatencyStatistics.from_samples(samples)
+
+
+def _monte_carlo_run_key(
+    system: ControllerSystem,
+    bound: BoundDataflowGraph,
+    p: float,
+    trials: int,
+    seed: int,
+) -> str:
+    """Everything that determines a Monte-Carlo sweep's samples.
+
+    Deliberately excludes ``workers`` — parallel and serial runs are
+    byte-identical, so either may resume the other's journal.
+    """
+    from ..perf.cache import design_fingerprint, system_fingerprint
+
+    return (
+        f"monte-carlo|{design_fingerprint(bound)}"
+        f"|{system_fingerprint(system)}|p={p!r}|trials={trials}"
+        f"|seed={seed}"
+    )
 
 
 def simulate_assignment(

@@ -9,7 +9,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SerialFallbackWarning, SimulationError
 from repro.perf.bench import BenchReport, run_bench
 from repro.perf.cache import (
     SimulationCache,
@@ -102,8 +102,26 @@ class TestParallelMap:
         assert parallel_map(str, [], workers=4) == []
 
     def test_unpicklable_fn_falls_back_to_serial(self):
-        out = parallel_map(lambda x: x + 1, [1, 2, 3], workers=2)
+        with pytest.warns(SerialFallbackWarning, match="<lambda>"):
+            out = parallel_map(lambda x: x + 1, [1, 2, 3], workers=2)
         assert out == [2, 3, 4]
+
+    def test_fallback_warning_records_ambient_event(self):
+        from repro.runtime import active_report
+
+        with active_report() as report:
+            with pytest.warns(SerialFallbackWarning):
+                parallel_map(lambda x: x, [1, 2], workers=2)
+        assert report.count("serial-fallback") == 1
+
+    def test_deliberate_serial_never_warns(self, recwarn):
+        assert parallel_map(lambda x: x + 1, [1, 2], workers=1) == [2, 3]
+        assert parallel_map(str, [7], workers=4) == ["7"]  # single item
+        assert not [
+            w for w in recwarn if issubclass(
+                w.category, SerialFallbackWarning
+            )
+        ]
 
     def test_serial_default(self):
         assert parallel_map(str, [1, 2]) == ["1", "2"]
@@ -201,6 +219,101 @@ class TestSimulationCache:
         )
         assert again == plain
         assert cache.hits == 25
+
+
+class TestSelfHealingCaches:
+    """Corrupt cache files are quarantined and recomputed, never raised."""
+
+    def _seed_entry(self, path, fig2_result):
+        cache = SimulationCache(path)
+        system = fig2_result.distributed_system()
+        model = BernoulliCompletion(p=0.5)
+        first = simulate_cached(
+            system, fig2_result.bound, model, cache=cache, seed=2
+        )
+        key = cache.key(
+            system, fig2_result.bound, model, seed=2, iterations=1
+        )
+        return first, key, os.path.join(path, f"{key}.json")
+
+    def test_truncated_file_is_a_miss_not_an_error(
+        self, tmp_path, fig2_result
+    ):
+        # regression: a truncated entry used to raise JSONDecodeError
+        # out of get(); now it is quarantined and recomputed
+        path = str(tmp_path / "simcache")
+        first, key, file_path = self._seed_entry(path, fig2_result)
+        blob = open(file_path).read()
+        with open(file_path, "w") as handle:
+            handle.write(blob[: len(blob) // 2])
+        fresh = SimulationCache(path)
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
+        assert os.path.exists(file_path + ".corrupt")
+        model = BernoulliCompletion(p=0.5)
+        recomputed = simulate_cached(
+            fig2_result.distributed_system(), fig2_result.bound, model,
+            cache=fresh, seed=2,
+        )
+        assert recomputed == first
+        assert SimulationCache(path).get(key) == first
+
+    def test_checksum_mismatch_quarantined(self, tmp_path, fig2_result):
+        import json
+
+        path = str(tmp_path / "simcache")
+        _, key, file_path = self._seed_entry(path, fig2_result)
+        data = json.load(open(file_path))
+        data["payload"]["cycles"] = data["payload"]["cycles"] + 1
+        with open(file_path, "w") as handle:
+            json.dump(data, handle)
+        fresh = SimulationCache(path)
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
+
+    def test_quarantine_reports_to_ambient_report(
+        self, tmp_path, fig2_result
+    ):
+        from repro.runtime import active_report
+
+        path = str(tmp_path / "simcache")
+        _, key, file_path = self._seed_entry(path, fig2_result)
+        with open(file_path, "w") as handle:
+            handle.write("not json at all")
+        with active_report() as report:
+            assert SimulationCache(path).get(key) is None
+        assert report.count("cache-quarantine") == 1
+
+    def test_synthesis_cache_truncated_entry_heals(self, tmp_path):
+        from repro.perf.cache import SynthesisCache
+
+        path = str(tmp_path / "syncache")
+        cache = SynthesisCache(path)
+        key = SynthesisCache.key("schedule", {"dfg": "abc"}, {"opt": 1})
+        cache.put(key, {"artifact": [1, 2, 3]})
+        file_path = os.path.join(path, f"{key}.syn.json")
+        with open(file_path, "w") as handle:
+            handle.write('{"sha256": "dead')
+        fresh = SynthesisCache(path)
+        assert fresh.get(key) is None
+        assert fresh.quarantined == 1
+        fresh.put(key, {"artifact": [1, 2, 3]})
+        assert SynthesisCache(path).get(key) == {"artifact": [1, 2, 3]}
+
+    def test_legacy_bare_payload_still_readable(self, tmp_path):
+        import json
+
+        from repro.perf.cache import SynthesisCache
+
+        path = str(tmp_path / "syncache")
+        cache = SynthesisCache(path)
+        key = SynthesisCache.key("bind", {"order": "xyz"}, {})
+        # a pre-envelope file: bare payload, no checksum wrapper
+        os.makedirs(path, exist_ok=True)
+        with open(os.path.join(path, f"{key}.syn.json"), "w") as handle:
+            json.dump({"legacy": True}, handle)
+        assert cache.get(key) == {"legacy": True}
+        assert cache.quarantined == 0
 
 
 class TestBench:

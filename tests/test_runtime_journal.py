@@ -1,0 +1,146 @@
+"""Tests for the checkpoint journal (:mod:`repro.runtime.journal`)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointInterrupted
+from repro.runtime import CheckpointJournal, active_report, checkpointed_map
+from repro.runtime.journal import (
+    SHARD_SUFFIX,
+    atomic_write_bytes,
+    resolve_journal,
+)
+
+
+def _double(x: int) -> int:
+    return 2 * x
+
+
+class TestAtomicWrite:
+    def test_roundtrip_leaves_no_temp_files(self, tmp_path):
+        target = str(tmp_path / "blob.bin")
+        atomic_write_bytes(target, b"hello")
+        assert open(target, "rb").read() == b"hello"
+        atomic_write_bytes(target, b"replaced")
+        assert open(target, "rb").read() == b"replaced"
+        assert os.listdir(str(tmp_path)) == ["blob.bin"]
+
+
+class TestCheckpointJournal:
+    def test_put_get_roundtrip(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "ck"))
+        key = journal.key("run-a", 0)
+        assert journal.get(key) == (False, None)
+        journal.put(key, {"cycles": 11})
+        assert journal.get(key) == (True, {"cycles": 11})
+        assert journal.new_shards == 1 and journal.replayed == 1
+
+    def test_keys_are_content_addressed(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "ck"))
+        assert journal.key("run-a", 0) != journal.key("run-a", 1)
+        assert journal.key("run-a", 0) != journal.key("run-b", 0)
+        assert journal.key("run-a", 0) == CheckpointJournal.key("run-a", 0)
+
+    def test_truncated_shard_quarantined_and_recomputed(self, tmp_path):
+        path = str(tmp_path / "ck")
+        journal = CheckpointJournal(path)
+        key = journal.key("run-a", 3)
+        journal.put(key, [1, 2, 3])
+        shard = journal.shard_file(key)
+        blob = open(shard, "rb").read()
+        with open(shard, "wb") as handle:
+            handle.write(blob[: len(blob) - 4])
+        fresh = CheckpointJournal(path)
+        with active_report() as report:
+            assert fresh.get(key) == (False, None)
+        assert fresh.quarantined == 1
+        assert os.path.exists(shard + ".corrupt")
+        assert report.count("journal-quarantine") == 1
+        fresh.put(key, [1, 2, 3])
+        assert fresh.get(key) == (True, [1, 2, 3])
+
+    def test_garbage_header_quarantined(self, tmp_path):
+        path = str(tmp_path / "ck")
+        journal = CheckpointJournal(path)
+        key = journal.key("run-a", 0)
+        with open(journal.shard_file(key), "wb") as handle:
+            handle.write(b"not a shard at all")
+        assert journal.get(key) == (False, None)
+        assert journal.quarantined == 1
+
+    def test_max_new_shards_interrupts_deterministically(self, tmp_path):
+        journal = CheckpointJournal(
+            str(tmp_path / "ck"), max_new_shards=2
+        )
+        journal.put(journal.key("r", 0), 0)
+        journal.put(journal.key("r", 1), 1)
+        with pytest.raises(CheckpointInterrupted) as excinfo:
+            journal.put(journal.key("r", 2), 2)
+        assert excinfo.value.shards_written == 2
+
+    def test_resolve_journal(self, tmp_path):
+        assert resolve_journal(None) is None
+        journal = CheckpointJournal(str(tmp_path / "ck"))
+        assert resolve_journal(journal) is journal
+        made = resolve_journal(str(tmp_path / "other"))
+        assert isinstance(made, CheckpointJournal)
+
+
+class TestCheckpointedMap:
+    def test_without_journal_is_plain_map(self):
+        assert checkpointed_map(
+            _double, range(5), run_key="", checkpoint=None
+        ) == [0, 2, 4, 6, 8]
+
+    def test_shards_written_incrementally_and_replayed(self, tmp_path):
+        path = str(tmp_path / "ck")
+        out = checkpointed_map(
+            _double, range(6), run_key="run", checkpoint=path
+        )
+        assert out == [0, 2, 4, 6, 8, 10]
+        shards = [
+            f for f in os.listdir(path) if f.endswith(SHARD_SUFFIX)
+        ]
+        assert len(shards) == 6
+        replay = CheckpointJournal(path)
+        again = checkpointed_map(
+            _double, range(6), run_key="run", checkpoint=replay
+        )
+        assert again == out
+        assert replay.replayed == 6 and replay.new_shards == 0
+
+    def test_interrupted_run_resumes_byte_identically(self, tmp_path):
+        path = str(tmp_path / "ck")
+        limited = CheckpointJournal(path, max_new_shards=3)
+        with pytest.raises(CheckpointInterrupted):
+            checkpointed_map(
+                _double, range(10), run_key="run", checkpoint=limited
+            )
+        assert limited.new_shards == 3
+        resumed = checkpointed_map(
+            _double, range(10), run_key="run",
+            checkpoint=CheckpointJournal(path),
+        )
+        assert resumed == [_double(x) for x in range(10)]
+
+    def test_run_keys_do_not_cross_replay(self, tmp_path):
+        path = str(tmp_path / "ck")
+        checkpointed_map(_double, range(3), run_key="a", checkpoint=path)
+        fresh = CheckpointJournal(path)
+        checkpointed_map(str, range(3), run_key="b", checkpoint=fresh)
+        assert fresh.replayed == 0 and fresh.new_shards == 3
+
+    def test_parallel_and_serial_share_a_journal(self, tmp_path):
+        path = str(tmp_path / "ck")
+        first = checkpointed_map(
+            _double, range(8), run_key="run", checkpoint=path, workers=2
+        )
+        replay = CheckpointJournal(path)
+        second = checkpointed_map(
+            _double, range(8), run_key="run", checkpoint=replay, workers=1
+        )
+        assert first == second
+        assert replay.replayed == 8
