@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from ..binding.binder import BoundDataflowGraph
 from ..core.analysis import schedule_length

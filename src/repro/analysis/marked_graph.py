@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..binding.binder import BoundDataflowGraph
 from ..errors import SimulationError
@@ -62,6 +62,65 @@ def _edges_with_tokens(
     return edges
 
 
+def handshake_edges(
+    bound: BoundDataflowGraph,
+) -> tuple[tuple[str, str, int], ...]:
+    """The CC-handshake marked graph of a bound design, as edges.
+
+    Public view of the token-annotated execution graph (data edges and
+    schedule arcs with zero tokens, per-chain wrap arcs with one) shared
+    by the throughput analysis and the static liveness rule of
+    :mod:`repro.verify`.
+    """
+    return tuple(_edges_with_tokens(bound))
+
+
+def token_free_cycle(
+    edges: Sequence[tuple[str, str, int]],
+) -> "tuple[str, ...] | None":
+    """A directed cycle all of whose edges carry zero tokens, if any.
+
+    A marked graph is live exactly when no such cycle exists (every
+    cycle then holds at least one initial token to fire around).  The
+    returned tuple lists the cycle's nodes in order; ``None`` means the
+    zero-token subgraph is acyclic.
+    """
+    succ: dict[str, list[str]] = {}
+    for u, v, tokens in edges:
+        if tokens == 0:
+            succ.setdefault(u, []).append(v)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in succ}
+    for u, v, _ in edges:
+        color.setdefault(u, WHITE)
+        color.setdefault(v, WHITE)
+    for root in color:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        path: list[str] = []
+        color[root] = GRAY
+        path.append(root)
+        while stack:
+            node, child_index = stack[-1]
+            children = succ.get(node, ())
+            if child_index < len(children):
+                stack[-1] = (node, child_index + 1)
+                child = children[child_index]
+                if color[child] == GRAY:
+                    start = path.index(child)
+                    return tuple(path[start:])
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, 0))
+                    path.append(child)
+            else:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
 def _positive_cycle(
     names: Sequence[str],
     edges: Sequence[tuple[int, int, float, int]],
@@ -78,7 +137,7 @@ def _positive_cycle(
     dist = [0.0] * n
     pred: list[int] = [-1] * n
     pred_edge_last = -1
-    for round_index in range(n):
+    for _round in range(n):
         changed = -1
         for u, v, weight, _ in edges:
             candidate = dist[u] + weight

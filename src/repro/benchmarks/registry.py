@@ -7,7 +7,7 @@ The allocation strings are the paper's Table 2 resource columns, with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..core.dfg import DataflowGraph
 from ..errors import ReproError

@@ -11,7 +11,7 @@ exactly the paper's Fig. 3(c) notation: ``(O0, O1) -> TAU multiplier-1``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..core.dfg import DataflowGraph
 from ..errors import BindingError

@@ -14,7 +14,7 @@ reports with a register count).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..errors import BindingError
 from ..scheduling.schedule import TimeStepSchedule

@@ -16,6 +16,10 @@ Gives the library's main flows a shell-level surface::
     python -m repro bench --quick -o BENCH_core.json
     python -m repro pipeline --list
     python -m repro pipeline diffeq --cache-dir .repro-cache --manifest m.json
+    python -m repro lint
+    python -m repro lint fig2 fdct --format json -o lint.json
+    python -m repro lint --write-baseline
+    python -m repro lint --check-baseline --fail-on warning
 
 Long-running commands (``faults``, ``experiments``, ``bench``,
 ``table2``) accept ``--checkpoint-dir DIR``: completed trials are
@@ -31,7 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from .analysis.distribution import compare_distributions
 from .api import synthesize
@@ -49,6 +53,7 @@ from .resources.allocation import ResourceAllocation
 from .resources.completion import BernoulliCompletion
 from .sim.simulator import simulate
 from .sim.vcd import trace_to_vcd
+from .verify.baseline import DEFAULT_BASELINE_DIR
 
 
 #: name of the invocation record ``--checkpoint-dir`` writes
@@ -435,6 +440,82 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import dataclasses
+    import json
+
+    from .verify import (
+        gate_report,
+        lint_benchmark,
+        load_baseline,
+        write_baseline,
+    )
+    from .verify.baseline import baseline_path
+
+    names = list(args.benchmarks) or [
+        entry.name for entry in all_benchmarks()
+    ]
+    if args.allocation and len(names) != 1:
+        print(
+            "error: --allocation requires exactly one benchmark",
+            file=sys.stderr,
+        )
+        return 2
+    reports = [
+        lint_benchmark(
+            name, allocation=args.allocation, scheduler=args.scheduler
+        )
+        for name in names
+    ]
+    if args.write_baseline:
+        for report in reports:
+            path = write_baseline(args.baseline_dir, report)
+            print(f"wrote baseline {path}", file=sys.stderr)
+    gates = []
+    for report in reports:
+        baseline = load_baseline(args.baseline_dir, report.design)
+        gate = gate_report(report, baseline, fail_on=args.fail_on)
+        if args.check_baseline:
+            path = baseline_path(args.baseline_dir, report.design)
+            stable = (
+                path.is_file()
+                and path.read_text(encoding="utf-8")
+                == report.to_json() + "\n"
+            )
+            gate = dataclasses.replace(gate, byte_stable=stable)
+        gates.append(gate)
+    if args.format == "json":
+        out = (
+            json.dumps(
+                {
+                    "format": 1,
+                    "reports": [r.to_dict() for r in reports],
+                },
+                indent=2,
+                sort_keys=True,
+                separators=(",", ": "),
+            )
+            + "\n"
+        )
+    else:
+        parts = []
+        for report, gate in zip(reports, gates):
+            parts.append(report.render())
+            parts.append(gate.render())
+        out = "\n".join(parts) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(out)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(out, end="")
+    failed = [g for g in gates if not g.passed]
+    for gate in failed:
+        if args.format == "json" or args.output:
+            print(gate.render(), file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_resume(args) -> int:
     import json
     import os
@@ -759,6 +840,73 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_pipe.set_defaults(func=_cmd_pipeline)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help=(
+            "static verification of synthesis artifacts and generated "
+            "RTL (no simulation)"
+        ),
+    )
+    p_lint.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="benchmark names (default: every registered benchmark)",
+    )
+    p_lint.add_argument(
+        "--allocation",
+        help=(
+            'allocation spec, e.g. "mul:2T,add:1"; requires exactly '
+            "one benchmark (default: paper allocation)"
+        ),
+    )
+    p_lint.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS.names(),
+        default="list",
+        help="time-step scheduler from the registry (default: list)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "-o",
+        "--output",
+        help="write the combined report here instead of stdout",
+    )
+    p_lint.add_argument(
+        "--baseline-dir",
+        default=DEFAULT_BASELINE_DIR,
+        metavar="DIR",
+        help=f"committed baselines (default: {DEFAULT_BASELINE_DIR})",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the fresh reports as the new baselines",
+    )
+    p_lint.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help=(
+            "additionally require each baseline file to be "
+            "byte-identical to the fresh report (CI drift gate)"
+        ),
+    )
+    p_lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help=(
+            "minimum severity of a NEW finding that fails the run "
+            "(default: error; never = baseline/byte checks only)"
+        ),
+    )
+    p_lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -18,7 +18,7 @@ system` plugs straight into the cycle-accurate simulator).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..binding.binder import BoundDataflowGraph
 from ..fsm.algorithm1 import derive_all_unit_controllers
@@ -116,7 +116,7 @@ class DistributedControlUnit:
     # -- reporting ---------------------------------------------------------
     def describe(self) -> str:
         lines = [f"distributed control unit for {self.bound.dfg.name!r}:"]
-        for unit_name, fsm in self.controllers.items():
+        for fsm in self.controllers.values():
             lines.append(
                 f"  {fsm.name}: {fsm.num_states} states, "
                 f"{len(fsm.inputs)} in / {len(fsm.outputs)} out"

@@ -46,7 +46,7 @@ def completion_netlist(
                     op_of_completion(signal), []
                 ).append(unit_name)
     nets = []
-    for unit_name, fsm in controllers.items():
+    for unit_name in controllers:
         for op in bound.ops_on_unit(unit_name):
             nets.append(
                 CompletionNet(

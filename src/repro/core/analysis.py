@@ -10,7 +10,7 @@ see DESIGN.md §2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..errors import GraphError
 from .dfg import DataflowGraph

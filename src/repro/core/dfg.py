@@ -19,7 +19,7 @@ successor* relation of the paper, §4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Union
+from collections.abc import Iterator, Mapping
 
 from ..errors import GraphError
 from .ops import OpType, ResourceClass
@@ -55,7 +55,7 @@ class OpRef:
         return self.op
 
 
-Operand = Union[InputRef, ConstRef, OpRef]
+Operand = InputRef | ConstRef | OpRef
 
 
 def as_operand(source: "Operand | str | int") -> Operand:

@@ -7,7 +7,7 @@ schedule arcs drawn dashed, exactly as in the paper's figures.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from .dfg import ConstRef, DataflowGraph, InputRef
 from .ops import ResourceClass

@@ -11,7 +11,7 @@ datapath simulator.
 from __future__ import annotations
 
 import enum
-from typing import Callable
+from collections.abc import Callable
 
 
 class ResourceClass(str, enum.Enum):

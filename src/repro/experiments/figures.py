@@ -10,7 +10,7 @@ caption claims.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..analysis.tables import render_series
 from ..api import synthesize

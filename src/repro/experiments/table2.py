@@ -16,7 +16,7 @@ operations per step and with decreasing P; rows with little concurrency
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..analysis.latency import LatencyComparison, compare_latencies
 from ..analysis.tables import render_table

@@ -25,7 +25,7 @@ import json
 import random
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from ..errors import (
     DeadlockError,

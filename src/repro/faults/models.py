@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from ..errors import SimulationError
 from ..fsm.signals import is_op_completion, op_of_completion

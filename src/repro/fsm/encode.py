@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..errors import FSMError
 from .model import FSM

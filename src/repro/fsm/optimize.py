@@ -9,7 +9,7 @@ generated FSMs tight after transformations.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..errors import FSMError
 from .model import FSM, Transition

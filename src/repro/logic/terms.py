@@ -16,7 +16,7 @@ tautology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..errors import LogicError
 

@@ -21,7 +21,7 @@ import platform
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from .engine import resolve_workers
 

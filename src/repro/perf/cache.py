@@ -37,7 +37,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import TYPE_CHECKING, Mapping
+from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 from ..runtime.journal import atomic_write_text
 from ..runtime.policy import record_event
@@ -242,7 +243,7 @@ def _model_payload(model: "CompletionModel") -> dict:
 
 def _digest(payload: object) -> str:
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -258,7 +259,7 @@ def _write_entry(file_path: str, payload: object) -> None:
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     envelope = json.dumps(
         {
-            "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            "sha256": hashlib.sha256(text.encode()).hexdigest(),
             "payload": json.loads(text),
         },
         sort_keys=True,
@@ -302,7 +303,7 @@ def _read_entry(cache, file_path: str) -> "object | None":
         text = json.dumps(
             data["payload"], sort_keys=True, separators=(",", ":")
         )
-        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(text.encode()).hexdigest()
         if digest != data["sha256"]:
             _quarantine_entry(cache, file_path, "failed its checksum")
             return None

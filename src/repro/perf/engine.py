@@ -37,7 +37,8 @@ import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, TypeVar
 
 from ..errors import SerialFallbackWarning, SimulationError
 

@@ -7,7 +7,7 @@ loudly at the boundary instead of deep inside a downstream consumer.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping
+from collections.abc import Iterator, Mapping
 
 from ..binding.binder import BoundDataflowGraph
 from ..control.distributed import DistributedControlUnit

@@ -13,7 +13,8 @@ yield the same bytes.
 from __future__ import annotations
 
 import time
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from ..core.dfg import DataflowGraph
 from ..errors import PipelineError

@@ -12,7 +12,8 @@ serialize byte-identically to freshly computed ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from ..core.validate import validate_dfg
 from ..errors import PipelineError
@@ -142,6 +143,19 @@ def _run_distributed(store, options, diagnostics):
     return {"distributed": distributed}
 
 
+def _run_verify(store, options, diagnostics):
+    from ..verify.engine import lint_store
+
+    report = lint_store(store, name=options.get("design") or None)
+    diagnostics.extend(d.to_dict() for d in report.diagnostics)
+    if options.get("strict") and report.has_errors:
+        raise PipelineError(
+            f"verify-artifacts: {report.count('error')} error "
+            f"finding(s) on design {report.design!r}"
+        )
+    return {}
+
+
 def _run_cent_fsms(store, options, diagnostics):
     bound = store.get("bound")
     taubm = store.get("taubm")
@@ -207,6 +221,16 @@ def _distributed_unpayload(payload, store):
             payload["distributed"], store.get("bound")
         )
     }
+
+
+def _verify_payload(artifacts):
+    # The pass provides no artifacts; its product is the diagnostics
+    # list, which the pass manager caches alongside this payload.
+    return {}
+
+
+def _verify_unpayload(payload, store):
+    return {}
 
 
 def _cent_fsms_payload(artifacts):
@@ -288,6 +312,25 @@ DISTRIBUTED = Pass(
     from_payload=_distributed_unpayload,
 )
 
+VERIFY = Pass(
+    name="verify-artifacts",
+    requires=(
+        "dfg",
+        "allocation",
+        "schedule",
+        "order",
+        "bound",
+        "taubm",
+        "distributed",
+    ),
+    provides=(),
+    run=_run_verify,
+    summary="static lint of artifacts + generated RTL (repro.verify)",
+    defaults={"strict": False, "design": ""},
+    to_payload=_verify_payload,
+    from_payload=_verify_unpayload,
+)
+
 CENT_FSMS = Pass(
     name="cent-fsms",
     requires=("bound", "taubm"),
@@ -301,7 +344,16 @@ CENT_FSMS = Pass(
 
 def synthesis_passes() -> tuple[Pass, ...]:
     """The canned paper flow, in dependency order."""
-    return (VALIDATE, SCHEDULE, ORDER, BIND, TAUBM, DISTRIBUTED, CENT_FSMS)
+    return (
+        VALIDATE,
+        SCHEDULE,
+        ORDER,
+        BIND,
+        TAUBM,
+        DISTRIBUTED,
+        VERIFY,
+        CENT_FSMS,
+    )
 
 
 def check_pass_order(passes: tuple[Pass, ...]) -> None:

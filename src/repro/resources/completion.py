@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..errors import SimulationError
 from .units import ArithmeticUnit, TelescopicUnit

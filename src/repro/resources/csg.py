@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import LogicError
 from .bitlevel import ArrayMultiplier, RippleCarryAdder, carry_chain_length

@@ -12,7 +12,7 @@ reference semantics.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..api import SynthesisResult
 from ..errors import SimulationError

@@ -37,7 +37,8 @@ import hashlib
 import os
 import pickle
 import tempfile
-from typing import Callable, Iterable, Sequence, TypeVar
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
 
 from ..errors import CheckpointError, CheckpointInterrupted
 from .policy import RunPolicy, RunReport, record_event
@@ -79,7 +80,7 @@ def atomic_write_bytes(path: str, payload: bytes) -> None:
 
 def atomic_write_text(path: str, text: str) -> None:
     """Atomic UTF-8 text variant of :func:`atomic_write_bytes`."""
-    atomic_write_bytes(path, text.encode("utf-8"))
+    atomic_write_bytes(path, text.encode())
 
 
 class CheckpointJournal:
@@ -119,7 +120,7 @@ class CheckpointJournal:
     def key(run_key: str, shard: object) -> str:
         """Content address of one shard of one run."""
         return hashlib.sha256(
-            f"{run_key}#{shard}".encode("utf-8")
+            f"{run_key}#{shard}".encode()
         ).hexdigest()
 
     def shard_file(self, key: str) -> str:

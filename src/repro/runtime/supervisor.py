@@ -39,7 +39,8 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 from ..errors import SupervisionError
 from .chaos import ChaosConfig, chaos_apply

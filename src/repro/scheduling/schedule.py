@@ -15,7 +15,7 @@ consumed by binding, FSM derivation and the analytic latency engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..core.dfg import DataflowGraph
 from ..core.ops import ResourceClass

@@ -9,7 +9,8 @@ reproduces the machine bit-for-bit (tests enforce it).
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any, Mapping
+from collections.abc import Mapping
+from typing import Any, TYPE_CHECKING
 
 from .core.dfg import ConstRef, DataflowGraph, InputRef, OpRef, Operand
 from .core.ops import OpType, ResourceClass

@@ -27,7 +27,7 @@ property at run time and fails loudly otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..binding.binder import BoundDataflowGraph
 from ..errors import SimulationError

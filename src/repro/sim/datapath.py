@@ -20,7 +20,7 @@ produced; we model the buffered behaviour directly.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..core.dfg import ConstRef, DataflowGraph, InputRef, OpRef
 from ..errors import ProtocolError, SimulationError, VerificationError

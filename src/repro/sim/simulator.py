@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..binding.binder import BoundDataflowGraph
 from ..errors import DeadlockError, ProtocolError, SimulationError

@@ -1,0 +1,72 @@
+"""Static verification of synthesis artifacts and generated RTL.
+
+The dynamic checks of :mod:`repro.sim` and :mod:`repro.faults` catch
+defects on the stimuli we happen to run; this package proves structural
+properties for *all* inputs, without simulating: controller liveness
+(the CC-handshake marked graph), FSM guard logic, schedule/binding/
+TAUBM consistency and RTL netlist hygiene.  Findings are structured
+:class:`Diagnostic` records with byte-stable JSON reports, wired into
+the synthesis pipeline (``verify-artifacts`` pass), the CLI
+(``repro lint``) and CI (baseline gates).
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    DEFAULT_BASELINE_DIR,
+    GateResult,
+    gate_report,
+    load_baseline,
+    write_baseline,
+)
+from .diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    DiagnosticReport,
+    severity_rank,
+)
+from .engine import (
+    lint_benchmark,
+    lint_result,
+    lint_store,
+    lint_target,
+)
+from .fsm_checks import lint_fsm
+from .rules import RULES, Rule, rule, rule_table
+from .selftest import (
+    STRUCTURAL_FAULTS,
+    SelftestOutcome,
+    StructuralFault,
+    covered_fault_kinds,
+    injector_fault_kinds,
+    run_selftest,
+)
+from .target import LintTarget
+
+__all__ = [
+    "DEFAULT_BASELINE_DIR",
+    "Diagnostic",
+    "DiagnosticReport",
+    "GateResult",
+    "LintTarget",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "STRUCTURAL_FAULTS",
+    "SelftestOutcome",
+    "StructuralFault",
+    "covered_fault_kinds",
+    "gate_report",
+    "injector_fault_kinds",
+    "lint_benchmark",
+    "lint_fsm",
+    "lint_result",
+    "lint_store",
+    "lint_target",
+    "load_baseline",
+    "rule",
+    "rule_table",
+    "run_selftest",
+    "severity_rank",
+    "write_baseline",
+]

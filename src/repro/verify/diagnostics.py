@@ -1,0 +1,176 @@
+"""Structured diagnostics for the static verification suite.
+
+A :class:`Diagnostic` is one finding of one rule: rule id, severity,
+the artifact it anchors to (``controller:D-FSM-TM1``, ``schedule``,
+``rtl:control_top`` ...), a location inside that artifact, a message and
+a fix hint.  A :class:`DiagnosticReport` bundles every finding for one
+design and renders to byte-stable JSON — sorted keys, sorted
+diagnostics, no timestamps — so committed baselines and CI gates can
+compare output with ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from ..errors import VerificationError
+
+#: severities from most to least severe; order defines the gate ranking.
+SEVERITIES: tuple[str, ...] = ("error", "warning", "info")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: schema version of the JSON report format.
+REPORT_FORMAT = 1
+
+
+def severity_rank(severity: str) -> int:
+    """Rank of a severity (0 = most severe); rejects unknown names."""
+    try:
+        return _SEVERITY_RANK[severity]
+    except KeyError:
+        raise VerificationError(
+            f"unknown severity {severity!r}; expected one of "
+            f"{', '.join(SEVERITIES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one static-verification rule."""
+
+    rule: str
+    severity: str
+    artifact: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # reject unknown severities early
+
+    @property
+    def sort_key(self) -> tuple:
+        """Deterministic report order: severity, rule, then anchor."""
+        return (
+            severity_rank(self.severity),
+            self.rule,
+            self.artifact,
+            self.location,
+            self.message,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "artifact": self.artifact,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Diagnostic":
+        return cls(
+            rule=str(payload["rule"]),
+            severity=str(payload["severity"]),
+            artifact=str(payload["artifact"]),
+            location=str(payload["location"]),
+            message=str(payload["message"]),
+            hint=str(payload.get("hint", "")),
+        )
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        text = (
+            f"{self.severity:<7} {self.rule}  "
+            f"{self.artifact} :: {self.location} — {self.message}"
+        )
+        if self.hint:
+            text += f"  (hint: {self.hint})"
+        return text
+
+
+@dataclass(frozen=True)
+class DiagnosticReport:
+    """Every finding for one design, in deterministic order."""
+
+    design: str
+    diagnostics: tuple[Diagnostic, ...]
+
+    @classmethod
+    def build(
+        cls, design: str, diagnostics: Iterable[Diagnostic]
+    ) -> "DiagnosticReport":
+        """A report with the canonical (deduplicated, sorted) ordering."""
+        unique = sorted(set(diagnostics), key=lambda d: d.sort_key)
+        return cls(design=design, diagnostics=tuple(unique))
+
+    # -- queries ---------------------------------------------------------
+    def count(self, severity: str) -> int:
+        severity_rank(severity)
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def at_least(self, severity: str) -> tuple[Diagnostic, ...]:
+        """Diagnostics at or above a severity threshold."""
+        threshold = severity_rank(severity)
+        return tuple(
+            d
+            for d in self.diagnostics
+            if severity_rank(d.severity) <= threshold
+        )
+
+    def rules_fired(self) -> tuple[str, ...]:
+        """Sorted distinct rule ids with at least one finding."""
+        return tuple(sorted({d.rule for d in self.diagnostics}))
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": REPORT_FORMAT,
+            "design": self.design,
+            "summary": {s: self.count(s) for s in SEVERITIES},
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON: sorted keys, fixed separators, no times."""
+        return json.dumps(
+            self.to_dict(), indent=2, sort_keys=True,
+            separators=(",", ": "),
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DiagnosticReport":
+        if payload.get("format") != REPORT_FORMAT:
+            raise VerificationError(
+                f"unsupported diagnostic report format "
+                f"{payload.get('format')!r}"
+            )
+        return cls.build(
+            design=str(payload["design"]),
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in payload["diagnostics"]
+            ],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiagnosticReport":
+        return cls.from_dict(json.loads(text))
+
+    def render(self) -> str:
+        """Multi-line human-readable listing."""
+        lines = [
+            f"lint {self.design}: "
+            + ", ".join(f"{self.count(s)} {s}" for s in SEVERITIES)
+        ]
+        for d in self.diagnostics:
+            lines.append(f"  {d.render()}")
+        return "\n".join(lines)

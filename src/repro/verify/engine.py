@@ -1,0 +1,70 @@
+"""Entry points of the static verification suite.
+
+``lint_*`` builds a :class:`LintTarget` from whatever the caller has —
+a finished :class:`~repro.api.SynthesisResult`, a pipeline artifact
+store, or a benchmark name — runs every rule family in declared order
+and returns the canonical :class:`DiagnosticReport`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import Diagnostic, DiagnosticReport
+from .fsm_checks import check_fsms
+from .liveness import check_liveness
+from .rtl import check_rtl
+from .schedule_checks import check_schedule
+from .target import LintTarget
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from ..api import SynthesisResult
+    from ..pipeline.artifacts import ArtifactStore
+
+#: the rule families, in execution order.
+CHECKERS = (
+    check_liveness,
+    check_fsms,
+    check_schedule,
+    check_rtl,
+)
+
+
+def lint_target(target: LintTarget) -> DiagnosticReport:
+    """Run every rule family on a prepared artifact bundle."""
+    findings: list[Diagnostic] = []
+    for checker in CHECKERS:
+        findings.extend(checker(target))
+    return DiagnosticReport.build(target.name, findings)
+
+
+def lint_result(
+    result: "SynthesisResult", name: "str | None" = None
+) -> DiagnosticReport:
+    """Lint a finished synthesis result."""
+    return lint_target(LintTarget.from_result(result, name=name))
+
+
+def lint_store(
+    store: "ArtifactStore", name: "str | None" = None
+) -> DiagnosticReport:
+    """Lint a pipeline artifact store (post-``distributed``)."""
+    return lint_target(LintTarget.from_store(store, name=name))
+
+
+def lint_benchmark(
+    name: str,
+    allocation: "str | None" = None,
+    scheduler: str = "list",
+) -> DiagnosticReport:
+    """Synthesize a registered benchmark and lint the artifacts."""
+    from ..api import synthesize
+    from ..benchmarks.registry import benchmark
+
+    entry = benchmark(name)
+    result = synthesize(
+        entry.factory(),
+        allocation if allocation is not None else entry.allocation(),
+        scheduler=scheduler,
+    )
+    return lint_result(result, name=name)

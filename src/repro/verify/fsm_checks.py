@@ -1,0 +1,230 @@
+"""FSM structure rules (FSM family).
+
+Per-controller checks mirroring (and extending) :meth:`FSM.validate`,
+but emitting diagnostics instead of raising on first defect:
+reachability, completeness and determinism by exhaustive enumeration
+over the inputs each state references, plus interface hygiene (outputs
+never asserted, inputs never read) and — given the whole design —
+guards waiting on completion signals nothing generates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from ..fsm.model import FSM
+from ..fsm.signals import (
+    is_op_completion,
+    is_unit_completion,
+    unit_completion,
+)
+from .diagnostics import Diagnostic
+from .rules import diag
+from .target import LintTarget
+
+#: cap on example valuations quoted in one finding.
+_MAX_EXAMPLES = 3
+
+
+def _cube_str(valuation: dict) -> str:
+    return "·".join(
+        name if value else f"{name}'"
+        for name, value in sorted(valuation.items())
+    ) or "1"
+
+
+def lint_fsm(
+    fsm: FSM,
+    artifact: "str | None" = None,
+    available: "Iterable[str] | None" = None,
+) -> list[Diagnostic]:
+    """Run every FSM rule on one machine.
+
+    ``available`` names the completion signals the surrounding design
+    can actually raise; when ``None`` (standalone lint of a single FSM)
+    the FSM004 dead-guard rule is skipped.
+    """
+    anchor = artifact or f"controller:{fsm.name}"
+    findings: list[Diagnostic] = []
+    findings.extend(_check_reachability(fsm, anchor))
+    findings.extend(_check_guard_logic(fsm, anchor))
+    if available is not None:
+        findings.extend(_check_dead_guards(fsm, anchor, set(available)))
+    findings.extend(_check_interface(fsm, anchor))
+    return findings
+
+
+def _reachable_states(fsm: FSM) -> set[str]:
+    reachable = {fsm.initial}
+    frontier = [fsm.initial]
+    while frontier:
+        state = frontier.pop()
+        for t in fsm.transitions_from(state):
+            if t.target not in reachable:
+                reachable.add(t.target)
+                frontier.append(t.target)
+    return reachable
+
+
+def _check_reachability(fsm: FSM, anchor: str) -> list[Diagnostic]:
+    reachable = _reachable_states(fsm)
+    return [
+        diag(
+            "FSM001",
+            anchor,
+            f"state {state}",
+            f"state {state!r} is unreachable from the initial state "
+            f"{fsm.initial!r}",
+            "remove it with fsm.optimize.remove_unreachable_states",
+        )
+        for state in fsm.states
+        if state not in reachable
+    ]
+
+
+def _check_guard_logic(fsm: FSM, anchor: str) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for state in fsm.states:
+        outgoing = fsm.transitions_from(state)
+        if not outgoing:
+            findings.append(
+                diag(
+                    "FSM002",
+                    anchor,
+                    f"state {state}",
+                    f"state {state!r} has no outgoing transitions",
+                    "every state needs a total transition relation",
+                )
+            )
+            continue
+        names = fsm.referenced_inputs(state)
+        missing: list[str] = []
+        overlaps: dict[tuple[int, int], list[str]] = {}
+        for values in itertools.product(
+            (False, True), repeat=len(names)
+        ):
+            valuation = dict(zip(names, values))
+            matching = [
+                i for i, t in enumerate(outgoing) if t.matches(valuation)
+            ]
+            if not matching:
+                missing.append(_cube_str(valuation))
+            elif len(matching) > 1:
+                for pair in itertools.combinations(matching, 2):
+                    overlaps.setdefault(pair, []).append(
+                        _cube_str(valuation)
+                    )
+        if missing:
+            shown = ", ".join(missing[:_MAX_EXAMPLES])
+            more = len(missing) - min(len(missing), _MAX_EXAMPLES)
+            suffix = f" (+{more} more)" if more else ""
+            findings.append(
+                diag(
+                    "FSM002",
+                    anchor,
+                    f"state {state}",
+                    f"state {state!r} has no transition under "
+                    f"{shown}{suffix}; the controller wedges there",
+                    "add a self-loop or completing transition covering "
+                    "the missing valuations",
+                )
+            )
+        for (i, j), examples in sorted(overlaps.items()):
+            findings.append(
+                diag(
+                    "FSM003",
+                    anchor,
+                    f"state {state}",
+                    f"guards [{outgoing[i].guard_str()}] and "
+                    f"[{outgoing[j].guard_str()}] of state {state!r} "
+                    f"overlap under {examples[0]}; the next state is "
+                    f"ambiguous",
+                    "split the guards into disjoint cubes "
+                    "(fsm.model.not_all_cubes)",
+                )
+            )
+    return findings
+
+
+def _check_dead_guards(
+    fsm: FSM, anchor: str, available: set[str]
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for t in fsm.transitions:
+        for name, required in t.guard:
+            completion = is_op_completion(name) or is_unit_completion(
+                name
+            )
+            if completion and required and name not in available:
+                findings.append(
+                    diag(
+                        "FSM004",
+                        anchor,
+                        f"state {t.source}",
+                        f"transition [{t.guard_str()}] of state "
+                        f"{t.source!r} requires {name} high, but "
+                        f"nothing in the design generates {name}; the "
+                        f"transition can never fire",
+                        "wire the producing controller/CSG or drop the "
+                        "literal",
+                    )
+                )
+    return findings
+
+
+def _check_interface(fsm: FSM, anchor: str) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    asserted = (
+        set().union(*(t.outputs for t in fsm.transitions))
+        if fsm.transitions
+        else set()
+    )
+    for signal in fsm.outputs:
+        if signal not in asserted:
+            findings.append(
+                diag(
+                    "FSM005",
+                    anchor,
+                    f"output {signal}",
+                    f"declared output {signal} is never asserted by "
+                    f"any transition",
+                    "prune it with fsm.optimize.prune_outputs",
+                )
+            )
+    referenced = {name for t in fsm.transitions for name, _ in t.guard}
+    for signal in fsm.inputs:
+        if signal not in referenced:
+            findings.append(
+                diag(
+                    "FSM006",
+                    anchor,
+                    f"input {signal}",
+                    f"declared input {signal} is never referenced by "
+                    f"any guard",
+                    "drop the dangling input from the interface",
+                )
+            )
+    return findings
+
+
+def check_fsms(target: LintTarget) -> list[Diagnostic]:
+    """Run the FSM rules on every controller of the design."""
+    available: set[str] = set()
+    for unit in target.allocation:
+        if unit.is_telescopic:
+            available.add(unit_completion(unit.name))
+    for fsm in target.controllers.values():
+        for signal in fsm.outputs:
+            if is_op_completion(signal):
+                available.add(signal)
+    findings: list[Diagnostic] = []
+    for fsm in target.controllers.values():
+        findings.extend(
+            lint_fsm(
+                fsm,
+                artifact=f"controller:{fsm.name}",
+                available=available,
+            )
+        )
+    return findings

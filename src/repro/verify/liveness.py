@@ -1,0 +1,113 @@
+"""Controller-liveness rules (LIVE family).
+
+The distributed control unit coordinates through CC completion pulses;
+under pipelined execution it is a marked graph whose places are the
+handshake arcs.  Liveness holds exactly when every directed cycle
+carries at least one initial token (the per-chain wrap token) — a
+token-free cycle means a ring of controllers each waiting on a
+completion that transitively waits on itself.  The remaining rules
+check the netlist side of the same property: every consumed wire has
+exactly one producer and every producer that survived the Fig. 7
+pruning has a consumer.
+"""
+
+from __future__ import annotations
+
+from ..analysis.marked_graph import handshake_edges, token_free_cycle
+from ..fsm.signals import is_op_completion, op_completion
+from .diagnostics import Diagnostic
+from .rules import diag
+from .target import LintTarget
+
+ARTIFACT = "distributed"
+
+
+def check_liveness(target: LintTarget) -> list[Diagnostic]:
+    """Run every LIVE rule on a design."""
+    findings: list[Diagnostic] = []
+    findings.extend(_check_marked_graph(target))
+    findings.extend(_check_netlist(target))
+    return findings
+
+
+def _check_marked_graph(target: LintTarget) -> list[Diagnostic]:
+    bound = target.bound
+    cycle = token_free_cycle(handshake_edges(bound))
+    if cycle is None:
+        return []
+    loop = " -> ".join(cycle + (cycle[0],))
+    starved = [
+        op_completion(u)
+        for u, v in zip(cycle, cycle[1:] + cycle[:1])
+        if bound.binding.get(u) != bound.binding.get(v)
+    ]
+    named = starved[0] if starved else op_completion(cycle[0])
+    return [
+        diag(
+            "LIVE001",
+            ARTIFACT,
+            f"cycle {loop}",
+            f"token-free cycle in the CC-handshake graph; net {named} "
+            f"can never carry its first pulse",
+            "every handshake cycle must cross a chain wrap arc (the "
+            "initial token); check the schedule arcs of the order pass",
+        )
+    ]
+
+
+def _check_netlist(target: LintTarget) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    controllers = target.controllers
+    producers: dict[str, list[str]] = {}
+    consumers: dict[str, list[str]] = {}
+    for unit_name, fsm in controllers.items():
+        for signal in fsm.outputs:
+            if is_op_completion(signal):
+                producers.setdefault(signal, []).append(unit_name)
+        for signal in fsm.inputs:
+            if is_op_completion(signal):
+                consumers.setdefault(signal, []).append(unit_name)
+
+    for signal in sorted(set(consumers) - set(producers)):
+        sinks = ", ".join(sorted(consumers[signal]))
+        findings.append(
+            diag(
+                "LIVE002",
+                ARTIFACT,
+                f"net {signal}",
+                f"completion signal {signal} is consumed by "
+                f"controller(s) of {sinks} but no controller produces "
+                f"it; the consumers wait forever",
+                "the controller executing the producing operation must "
+                "keep this CC output (it must not be pruned)",
+            )
+        )
+    for signal in sorted(set(producers) - set(consumers)):
+        source = ", ".join(sorted(producers[signal]))
+        findings.append(
+            diag(
+                "LIVE003",
+                ARTIFACT,
+                f"net {signal}",
+                f"completion signal {signal} is produced by {source} "
+                f"but consumed by no controller",
+                "apply the Fig. 7 pruning (prune_outputs) to drop the "
+                "dead wire",
+            )
+        )
+    for signal, units in sorted(producers.items()):
+        if len(units) > 1:
+            source = ", ".join(sorted(units))
+            findings.append(
+                diag(
+                    "LIVE004",
+                    ARTIFACT,
+                    f"net {signal}",
+                    f"completion signal {signal} is driven by "
+                    f"{len(units)} controllers ({source}); completion "
+                    f"nets must have a unique producer",
+                    "exactly the controller executing the operation "
+                    "may assert its CC signal",
+                )
+            )
+    return findings

@@ -1,0 +1,454 @@
+"""RTL lint over the generated distributed-control-unit Verilog.
+
+A small structural parser for the subset of Verilog-2001 the backends
+emit (module headers with per-line port declarations, scalar
+``wire``/``reg`` declarations, ``wire x = expr;`` continuous assigns,
+``always @(posedge ...)`` sequential blocks and named-port instances)
+feeds four netlist rules: multiple drivers, undriven-but-read nets,
+driven-but-unread nets and post-``sanitize_identifier`` identifier
+collisions.  The combinational-loop rule (RTL005) combines the parsed
+top-level wiring with input→output combinational dependencies derived
+from the controller *FSM artifacts* (each Mealy output can depend on
+every input its source state's guards reference), so it sees through
+the instance boundary without parsing always-block bodies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..fsm.model import FSM
+from ..fsm.verilog import fsm_port_map, start_strobe
+from .diagnostics import Diagnostic
+from .rules import diag
+from .target import LintTarget
+
+_MODULE_RE = re.compile(r"^module\s+(\w+)\s*\($")
+_PORT_RE = re.compile(r"^\s*(input|output)\s+(?:wire|reg)\s+(\w+),?$")
+_DECL_RE = re.compile(r"^\s*(wire|reg)\s+(\w+);$")
+_ASSIGN_RE = re.compile(r"^\s*wire\s+(\w+)\s*=\s*(.+);$")
+_VECTOR_DECL_RE = re.compile(r"^\s*(?:wire|reg)\s+\[[^\]]+\]\s+(.+);$")
+_SEQ_ALWAYS_RE = re.compile(r"^\s*always\s+@\(posedge\b")
+_NONBLOCKING_RE = re.compile(r"(\w+)\s*<=\s*(.+?);")
+_IF_COND_RE = re.compile(r"if\s*\((.+?)\)")
+_INSTANCE_RE = re.compile(r"^\s+(\w+)\s+(\w+)\s+\($")
+_CONN_RE = re.compile(r"^\s*\.(\w+)\((.*?)\),?$")
+_CONSTANT_RE = re.compile(r"\d+'[bdhoBDHO][0-9a-fA-F_xzXZ]+")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def _identifiers(expression: str) -> tuple[str, ...]:
+    """Net identifiers read by an expression (constants stripped)."""
+    return tuple(_IDENT_RE.findall(_CONSTANT_RE.sub(" ", expression)))
+
+
+@dataclass
+class ParsedInstance:
+    """One named-port module instantiation."""
+
+    module: str
+    name: str
+    connections: list  # of (port, net_expression)
+
+
+@dataclass
+class ParsedModule:
+    """Structural view of one emitted module."""
+
+    name: str
+    ports: list = field(default_factory=list)  # (name, direction)
+    decls: list = field(default_factory=list)  # (name, kind)
+    assigns: list = field(default_factory=list)  # (lhs, rhs expression)
+    seq_assigns: list = field(default_factory=list)  # (lhs, reads, block)
+    instances: list = field(default_factory=list)
+
+    def port_direction(self, port: str) -> "str | None":
+        for name, direction in self.ports:
+            if name == port:
+                return direction
+        return None
+
+
+def parse_verilog(text: str) -> list[ParsedModule]:
+    """Parse the emitter's Verilog subset into structural modules."""
+    modules: list[ParsedModule] = []
+    current: "ParsedModule | None" = None
+    instance: "ParsedInstance | None" = None
+    in_seq_always = False
+    seq_block = -1
+    for line in text.splitlines():
+        stripped = line.strip()
+        header = _MODULE_RE.match(line)
+        if header:
+            current = ParsedModule(name=header.group(1))
+            modules.append(current)
+            continue
+        if current is None:
+            continue
+        if stripped == "endmodule":
+            current = None
+            continue
+        port = _PORT_RE.match(line)
+        if port and not current.decls and not current.instances:
+            current.ports.append((port.group(2), port.group(1)))
+            continue
+        if in_seq_always:
+            for lhs, rhs in _NONBLOCKING_RE.findall(line):
+                reads = list(_identifiers(rhs))
+                for condition in _IF_COND_RE.findall(line):
+                    reads.extend(_identifiers(condition))
+                current.seq_assigns.append(
+                    (lhs, tuple(reads), seq_block)
+                )
+            if stripped == "end":
+                in_seq_always = False
+            continue
+        if instance is not None:
+            conn = _CONN_RE.match(line)
+            if conn:
+                instance.connections.append(
+                    (conn.group(1), conn.group(2))
+                )
+            if stripped.startswith(");"):
+                instance = None
+            continue
+        assign = _ASSIGN_RE.match(line)
+        if assign:
+            current.assigns.append((assign.group(1), assign.group(2)))
+            current.decls.append((assign.group(1), "wire"))
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            current.decls.append((decl.group(2), decl.group(1)))
+            continue
+        vector = _VECTOR_DECL_RE.match(line)
+        if vector and not stripped.startswith("localparam"):
+            for name in vector.group(1).split(","):
+                current.decls.append((name.strip(), "vector"))
+            continue
+        if _SEQ_ALWAYS_RE.match(line):
+            in_seq_always = True
+            seq_block += 1
+            continue
+        inst = _INSTANCE_RE.match(line)
+        if inst and inst.group(1) not in ("localparam", "always"):
+            instance = ParsedInstance(
+                module=inst.group(1), name=inst.group(2), connections=[]
+            )
+            current.instances.append(instance)
+            continue
+    return modules
+
+
+# ---------------------------------------------------------------------
+# FSM combinational model
+# ---------------------------------------------------------------------
+def fsm_comb_dependencies(fsm: FSM) -> tuple[tuple[str, str], ...]:
+    """(input port id, output port id) combinational dependence pairs.
+
+    A Mealy output asserted by a transition out of state ``s`` is a
+    combinational function of every input some guard of ``s``
+    references (the emitted if-chain evaluates them all).  Port ids
+    come from :func:`fsm_port_map`, matching the emitted module.
+    """
+    ports = fsm_port_map(fsm, include_start_strobes=True)
+    pairs: set[tuple[str, str]] = set()
+    for state in fsm.states:
+        referenced = fsm.referenced_inputs(state)
+        if not referenced:
+            continue
+        emitted: set[str] = set()
+        for t in fsm.transitions_from(state):
+            emitted.update(t.outputs)
+            emitted.update(start_strobe(op) for op in t.starts)
+        for name in referenced:
+            for out in emitted:
+                pairs.add((ports[name], ports[out]))
+    return tuple(sorted(pairs))
+
+
+# ---------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------
+def check_rtl(target: LintTarget) -> list[Diagnostic]:
+    """Run every RTL rule on the design's generated Verilog."""
+    anchor = "rtl:control_top"
+    try:
+        text = target.rtl()
+    except Exception as exc:  # noqa: BLE001 - lint must not crash
+        return [
+            diag(
+                "RTL000",
+                anchor,
+                "generation",
+                f"distributed_to_verilog failed: "
+                f"{type(exc).__name__}: {exc}",
+                "the distributed artifact is internally inconsistent; "
+                "earlier rule families name the root cause",
+            )
+        ]
+    modules = parse_verilog(text)
+    findings = _check_name_collisions(modules)
+    by_name = {m.name: m for m in modules}
+    top = modules[-1] if modules else None
+    if top is not None:
+        findings.extend(_check_top_netlist(top, by_name, anchor))
+        findings.extend(
+            _check_comb_loops(target, top, by_name, anchor)
+        )
+    return findings
+
+
+def _check_name_collisions(
+    modules: list[ParsedModule],
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    seen_modules: set[str] = set()
+    for module in modules:
+        if module.name in seen_modules:
+            findings.append(
+                diag(
+                    "RTL004",
+                    f"rtl:{module.name}",
+                    f"module {module.name}",
+                    f"two modules are both named {module.name!r} after "
+                    f"identifier sanitization",
+                    "distinct controllers must emit distinct module "
+                    "names",
+                )
+            )
+        seen_modules.add(module.name)
+        local: set[str] = {"clk", "rst_n"}
+        local_anchor = f"rtl:{module.name}"
+        for name, _ in module.ports:
+            if name in local and name not in ("clk", "rst_n"):
+                findings.append(
+                    diag(
+                        "RTL004",
+                        local_anchor,
+                        f"port {name}",
+                        f"module {module.name!r} declares port "
+                        f"{name!r} twice after sanitization",
+                        "two source signals alias one Verilog name",
+                    )
+                )
+            local.add(name)
+        for name, _ in module.decls:
+            if name in local:
+                findings.append(
+                    diag(
+                        "RTL004",
+                        local_anchor,
+                        f"net {name}",
+                        f"module {module.name!r} declares net {name!r} "
+                        f"more than once after sanitization",
+                        "two source signals alias one Verilog name",
+                    )
+                )
+            local.add(name)
+    return findings
+
+
+def _check_top_netlist(
+    top: ParsedModule,
+    by_name: dict,
+    anchor: str,
+) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    drivers: dict[str, list[str]] = {}
+    reads: dict[str, list[str]] = {}
+
+    def drive(net: str, source: str) -> None:
+        drivers.setdefault(net, []).append(source)
+
+    def read(net: str, sink: str) -> None:
+        reads.setdefault(net, []).append(sink)
+
+    for name, direction in top.ports:
+        if direction == "input":
+            drive(name, "top input port")
+        else:
+            read(name, "top output port")
+    for lhs, rhs in top.assigns:
+        drive(lhs, f"assign {lhs}")
+        for ident in _identifiers(rhs):
+            read(ident, f"assign {lhs}")
+    # Several branch assignments inside one always block are a single
+    # driver; only distinct blocks writing one reg are a conflict.
+    seen_blocks: set = set()
+    for lhs, rhs_ids, block in top.seq_assigns:
+        if (lhs, block) not in seen_blocks:
+            seen_blocks.add((lhs, block))
+            drive(lhs, f"always {lhs}")
+        for ident in rhs_ids:
+            if ident != lhs:
+                read(ident, f"always {lhs}")
+    for instance in top.instances:
+        module = by_name.get(instance.module)
+        for port, expression in instance.connections:
+            direction = (
+                module.port_direction(port) if module is not None else None
+            )
+            nets = _identifiers(expression)
+            if direction == "output":
+                for net in nets:
+                    drive(net, f"{instance.name}.{port}")
+            else:
+                for net in nets:
+                    read(net, f"{instance.name}.{port}")
+
+    known = {name for name, _ in top.ports}
+    known.update(name for name, _ in top.decls)
+    known.update({"clk", "rst_n"})
+    for net in sorted(set(drivers) | set(reads) | known):
+        if net in ("clk", "rst_n"):
+            continue
+        net_drivers = drivers.get(net, [])
+        net_reads = reads.get(net, [])
+        if len(net_drivers) > 1:
+            listing = ", ".join(net_drivers)
+            findings.append(
+                diag(
+                    "RTL001",
+                    anchor,
+                    f"net {net}",
+                    f"net {net} has {len(net_drivers)} drivers "
+                    f"({listing})",
+                    "every completion/strobe net must have a unique "
+                    "producer",
+                )
+            )
+        if net_reads and not net_drivers:
+            listing = ", ".join(net_reads)
+            findings.append(
+                diag(
+                    "RTL002",
+                    anchor,
+                    f"net {net}",
+                    f"net {net} is read by {listing} but never driven",
+                    "a pruned or missing producer leaves the sink "
+                    "floating",
+                )
+            )
+        if net_drivers and not net_reads:
+            findings.append(
+                diag(
+                    "RTL003",
+                    anchor,
+                    f"net {net}",
+                    f"net {net} is driven by {net_drivers[0]} but "
+                    f"never read",
+                    "dead wiring; prune the producer output",
+                )
+            )
+    return findings
+
+
+def _check_comb_loops(
+    target: LintTarget,
+    top: ParsedModule,
+    by_name: dict,
+    anchor: str,
+) -> list[Diagnostic]:
+    from ..control.verilog_top import controller_module_names
+
+    fsm_of_module = {
+        module: target.controllers[unit_name]
+        for unit_name, module in controller_module_names(
+            target.distributed
+        ).items()
+        if unit_name in target.controllers
+    }
+    edges: set[tuple[str, str]] = set()
+    for lhs, rhs in top.assigns:
+        for ident in _identifiers(rhs):
+            edges.add((ident, lhs))
+    for instance in top.instances:
+        fsm = fsm_of_module.get(instance.module)
+        if fsm is None:
+            continue
+        net_of_port = {
+            port: (_identifiers(expression) or ("",))[0]
+            for port, expression in instance.connections
+        }
+        for in_port, out_port in fsm_comb_dependencies(fsm):
+            src = net_of_port.get(in_port)
+            dst = net_of_port.get(out_port)
+            if src and dst:
+                edges.add((src, dst))
+
+    # Tarjan SCC; every SCC with a cycle yields one finding.
+    graph: dict[str, list[str]] = {}
+    for u, v in sorted(edges):
+        graph.setdefault(u, []).append(v)
+        graph.setdefault(v, [])
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(graph[root]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+
+    findings: list[Diagnostic] = []
+    for component in sccs:
+        cyclic = len(component) > 1 or (
+            component[0],
+            component[0],
+        ) in edges
+        if not cyclic:
+            continue
+        nets = ", ".join(sorted(component))
+        findings.append(
+            diag(
+                "RTL005",
+                anchor,
+                f"nets {nets}",
+                f"combinational cycle through completion paths: "
+                f"{nets}; resolution relies on the arrival-latch "
+                f"fixed point settling",
+                "register the CC pulse or re-time the handshake if "
+                "timing closure fails",
+            )
+        )
+    return findings

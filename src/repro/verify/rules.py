@@ -1,0 +1,229 @@
+"""The rule registry of the static verification suite.
+
+Every rule the linter can fire is declared here once — id, severity,
+title, what a clean result proves, and the paper section the property
+comes from.  Check implementations live in the family modules
+(:mod:`.liveness`, :mod:`.fsm_checks`, :mod:`.schedule_checks`,
+:mod:`.rtl`) and mint findings through :func:`diag`, so a rule's
+severity can never disagree between code, docs and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import VerificationError
+from .diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Declaration of one static-verification rule."""
+
+    rule_id: str
+    severity: str
+    title: str
+    proves: str
+    reference: str
+
+
+RULES: tuple[Rule, ...] = (
+    # -- controller liveness (marked-graph / netlist family) -------------
+    Rule(
+        "LIVE001", "error",
+        "token-free cycle in the CC-handshake graph",
+        "every cycle of the distributed handshake marked graph carries "
+        "an initial token, so no controller starves waiting for a "
+        "completion that transitively waits on it",
+        "paper §4.1–4.2 (Fig. 7 handshake), marked-graph liveness",
+    ),
+    Rule(
+        "LIVE002", "error",
+        "completion signal consumed but never produced",
+        "every CC_* wire some controller waits on is driven by exactly "
+        "the controller executing the producing operation",
+        "paper §4.2 step 4 (C_PO inputs)",
+    ),
+    Rule(
+        "LIVE003", "warning",
+        "unpruned dead completion net",
+        "the Fig. 7 optimization removed every completion output no "
+        "other controller receives",
+        "paper §4.1 ('C_CO(0) is removed')",
+    ),
+    Rule(
+        "LIVE004", "error",
+        "completion net driven by multiple controllers",
+        "each CC_* wire has a unique producing controller (one op, one "
+        "executing unit)",
+        "paper §4.1 (completion-signal netlist)",
+    ),
+    # -- FSM structure ---------------------------------------------------
+    Rule(
+        "FSM001", "warning",
+        "unreachable state",
+        "every controller state is reachable from the initial state",
+        "paper Fig. 6 (controller state graphs)",
+    ),
+    Rule(
+        "FSM002", "error",
+        "incomplete transition guards",
+        "every state has a successor under every valuation of the "
+        "inputs it references (the machine can never wedge)",
+        "paper §4.2 Algorithm 1 (total transition relation)",
+    ),
+    Rule(
+        "FSM003", "error",
+        "overlapping transition guards",
+        "guards out of each state are disjoint cubes — the machine is "
+        "deterministic",
+        "paper §4.2 Algorithm 1 (disjoint guard cubes)",
+    ),
+    Rule(
+        "FSM004", "error",
+        "transition guard requires a completion that cannot occur",
+        "no guard waits for a completion signal that no unit or "
+        "controller in the design generates",
+        "paper §4.2 step 4 (predecessor completions)",
+    ),
+    Rule(
+        "FSM005", "warning",
+        "declared output never asserted",
+        "every declared OF/RE/CC output is asserted by some transition",
+        "paper Fig. 5–6 (controller outputs)",
+    ),
+    Rule(
+        "FSM006", "info",
+        "declared input never referenced",
+        "every declared input appears in some guard (no dangling "
+        "completion wires into the controller)",
+        "paper Fig. 7 (controller wiring)",
+    ),
+    # -- schedule / binding ----------------------------------------------
+    Rule(
+        "SCH001", "error",
+        "schedule violates a data dependence",
+        "every operation starts strictly after all of its DFG "
+        "predecessors",
+        "paper §2 (time-step scheduling)",
+    ),
+    Rule(
+        "SCH002", "error",
+        "time step over-subscribes the allocation",
+        "no step uses more units of a class than allocated",
+        "paper §2 (resource-constrained scheduling)",
+    ),
+    Rule(
+        "SCH003", "error",
+        "more execution chains than allocated units",
+        "each chain of the order-based schedule maps onto its own "
+        "arithmetic unit",
+        "paper §3 (order-based scheduling)",
+    ),
+    Rule(
+        "SCH004", "error",
+        "same-cycle register write conflict on a unit",
+        "no two operations bound to one unit start in the same step, so "
+        "its result register and operand muxes have one writer per "
+        "cycle",
+        "paper §3 (one operation per unit per step)",
+    ),
+    Rule(
+        "SCH005", "error",
+        "chain order contradicts the time-step schedule",
+        "the per-unit execution order (mux select sequence) agrees with "
+        "the time-step schedule — no bus contention from inverted "
+        "selects",
+        "paper §3 (schedule arcs)",
+    ),
+    Rule(
+        "SCH006", "error",
+        "TAUBM annotation inconsistent with schedule or binding",
+        "every telescopic-bound operation owns a conditional extension "
+        "in its step and the TAUBM steps partition the schedule",
+        "paper §2.3 / Fig. 2(b) (TAUBM)",
+    ),
+    # -- RTL lint --------------------------------------------------------
+    Rule(
+        "RTL000", "error",
+        "RTL generation failed",
+        "the distributed artifact is internally consistent enough for "
+        "the Verilog backend to elaborate it at all",
+        "implementation invariant of the Verilog backend",
+    ),
+    Rule(
+        "RTL001", "error",
+        "net driven by multiple sources",
+        "every net of the generated top level has exactly one driver",
+        "paper Fig. 7 (generated wiring)",
+    ),
+    Rule(
+        "RTL002", "error",
+        "net read but never driven",
+        "no floating wires feed controller instances or latches",
+        "paper Fig. 7 (generated wiring)",
+    ),
+    Rule(
+        "RTL003", "warning",
+        "net driven but never read",
+        "the emitted top level carries no dead wiring (mirrors the "
+        "Fig. 7 completion-output pruning at RTL level)",
+        "paper §4.1 (signal pruning)",
+    ),
+    Rule(
+        "RTL004", "error",
+        "identifier collision after sanitize_identifier",
+        "module, port and net names stay unique after Verilog "
+        "sanitization — two source names never alias one wire",
+        "implementation invariant of the Verilog backend",
+    ),
+    Rule(
+        "RTL005", "warning",
+        "combinational cycle through completion handshake paths",
+        "same-cycle CC forwarding paths between controllers do not "
+        "close a combinational loop (when they do, the loop is cut "
+        "only by the arrival-latch fixed point and needs timing care)",
+        "paper §4.2 (same-cycle completion forwarding)",
+    ),
+)
+
+_BY_ID = {r.rule_id: r for r in RULES}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a declared rule by id."""
+    try:
+        return _BY_ID[rule_id]
+    except KeyError:
+        raise VerificationError(f"unknown rule id {rule_id!r}") from None
+
+
+def diag(
+    rule_id: str, artifact: str, location: str, message: str,
+    hint: str = "",
+) -> Diagnostic:
+    """Mint a finding; the severity always comes from the registry."""
+    declared = rule(rule_id)
+    return Diagnostic(
+        rule=declared.rule_id,
+        severity=declared.severity,
+        artifact=artifact,
+        location=location,
+        message=message,
+        hint=hint,
+    )
+
+
+def rule_table() -> str:
+    """The rule catalogue as a Markdown table (docs are generated
+    from the same registry the checkers use)."""
+    lines = [
+        "| id | severity | what a clean result proves | reference |",
+        "|---|---|---|---|",
+    ]
+    for r in RULES:
+        lines.append(
+            f"| `{r.rule_id}` | {r.severity} | {r.proves} "
+            f"| {r.reference} |"
+        )
+    return "\n".join(lines)

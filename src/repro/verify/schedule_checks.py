@@ -1,0 +1,227 @@
+"""Schedule, binding and TAUBM consistency rules (SCH family).
+
+The constructors of the schedule artifacts validate many of these
+properties on the happy path; the static rules re-prove them on
+whatever actually reached the store — rehydrated cache entries,
+hand-built artifacts, or bundles deliberately corrupted by the fault
+self-tests — and they cross-check artifacts *against each other*
+(schedule vs. allocation, chains vs. schedule, TAUBM vs. binding),
+which no single constructor can.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic
+from .rules import diag
+from .target import LintTarget
+
+
+def check_schedule(target: LintTarget) -> list[Diagnostic]:
+    """Run every SCH rule on a design."""
+    findings: list[Diagnostic] = []
+    findings.extend(_check_precedence(target))
+    findings.extend(_check_step_subscription(target))
+    findings.extend(_check_chain_subscription(target))
+    findings.extend(_check_unit_slots(target))
+    findings.extend(_check_chain_vs_schedule(target))
+    findings.extend(_check_taubm(target))
+    return findings
+
+
+def _check_precedence(target: LintTarget) -> list[Diagnostic]:
+    start = target.schedule.start
+    findings: list[Diagnostic] = []
+    for u, v in target.dfg.edges():
+        if u not in start or v not in start:
+            continue  # missing ops are reported by the step partition
+        if start[u] >= start[v]:
+            findings.append(
+                diag(
+                    "SCH001",
+                    "schedule",
+                    f"edge {u} -> {v}",
+                    f"{u!r} (step {start[u]}) must complete strictly "
+                    f"before its consumer {v!r} (step {start[v]})",
+                    "reschedule the consumer at least one step after "
+                    "its producers",
+                )
+            )
+    return findings
+
+
+def _check_step_subscription(target: LintTarget) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    allocation = target.allocation
+    for step_index, ops in enumerate(target.schedule.steps()):
+        counts: dict = {}
+        for name in ops:
+            rc = target.dfg.op(name).resource_class
+            counts[rc] = counts.get(rc, 0) + 1
+        for rc, used in sorted(counts.items(), key=lambda kv: kv[0].value):
+            allocated = len(allocation.units_of_class(rc))
+            if used > allocated:
+                findings.append(
+                    diag(
+                        "SCH002",
+                        "schedule",
+                        f"step T{step_index}",
+                        f"step T{step_index} schedules {used} "
+                        f"{rc.value} operations but only {allocated} "
+                        f"{rc.value} unit(s) are allocated",
+                        "spread the step or allocate more units",
+                    )
+                )
+    return findings
+
+
+def _check_chain_subscription(target: LintTarget) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for rc, chains in sorted(
+        target.order.chains.items(), key=lambda kv: kv[0].value
+    ):
+        used = sum(1 for chain in chains if chain)
+        allocated = len(target.allocation.units_of_class(rc))
+        if used > allocated:
+            findings.append(
+                diag(
+                    "SCH003",
+                    "order",
+                    f"class {rc.value}",
+                    f"{used} non-empty {rc.value} chains but only "
+                    f"{allocated} {rc.value} unit(s) allocated; some "
+                    f"chain has no unit to bind to",
+                    "merge chains or allocate more units",
+                )
+            )
+    return findings
+
+
+def _check_unit_slots(target: LintTarget) -> list[Diagnostic]:
+    """SCH004: one operation per unit per time step."""
+    findings: list[Diagnostic] = []
+    start = target.schedule.start
+    for unit in target.bound.used_units():
+        by_step: dict[int, list[str]] = {}
+        for op in target.bound.ops_on_unit(unit.name):
+            if op in start:
+                by_step.setdefault(start[op], []).append(op)
+        for step, ops in sorted(by_step.items()):
+            if len(ops) > 1:
+                listing = ", ".join(ops)
+                findings.append(
+                    diag(
+                        "SCH004",
+                        "binding",
+                        f"unit {unit.name}, step T{step}",
+                        f"operations {listing} all start on "
+                        f"{unit.name} in step T{step}: their RE "
+                        f"enables write the unit's result register "
+                        f"and drive its operand muxes in the same "
+                        f"cycle",
+                        "serialize the unit's chain across steps",
+                    )
+                )
+    return findings
+
+
+def _check_chain_vs_schedule(target: LintTarget) -> list[Diagnostic]:
+    """SCH005: chain execution order must agree with the schedule."""
+    findings: list[Diagnostic] = []
+    start = target.schedule.start
+    for _rc, chain in target.order.all_chains():
+        for u, v in zip(chain, chain[1:]):
+            if u in start and v in start and start[u] > start[v]:
+                findings.append(
+                    diag(
+                        "SCH005",
+                        "order",
+                        f"chain {' -> '.join(chain)}",
+                        f"chain runs {u!r} before {v!r} but the "
+                        f"schedule starts {u!r} at T{start[u]} after "
+                        f"{v!r} at T{start[v]}; the unit's mux select "
+                        f"sequence contradicts the schedule",
+                        "reorder the chain to match the time steps",
+                    )
+                )
+    return findings
+
+
+def _check_taubm(target: LintTarget) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    taubm = target.taubm
+    schedule = target.schedule
+    bound = target.bound
+    scheduled = set(schedule.start)
+    seen: set[str] = set()
+    for position, step in enumerate(taubm.steps):
+        if step.index != position:
+            findings.append(
+                diag(
+                    "SCH006",
+                    "taubm",
+                    f"step #{position}",
+                    f"TAUBM step at position {position} carries index "
+                    f"{step.index}; steps must be numbered in order",
+                    "rebuild the annotation with derive_taubm_schedule",
+                )
+            )
+        seen.update(step.ops)
+        stray = set(step.tau_ops) - set(step.ops)
+        if stray:
+            listing = ", ".join(sorted(stray))
+            findings.append(
+                diag(
+                    "SCH006",
+                    "taubm",
+                    f"step T{step.index}",
+                    f"TAU operations {listing} are annotated in step "
+                    f"T{step.index} but do not execute there",
+                    "tau_ops must be a subset of the step's ops",
+                )
+            )
+        for op in step.ops:
+            if op not in bound.binding:
+                continue
+            telescopic = bound.is_telescopic_op(op)
+            marked = op in set(step.tau_ops)
+            if telescopic and not marked:
+                findings.append(
+                    diag(
+                        "SCH006",
+                        "taubm",
+                        f"step T{step.index}",
+                        f"operation {op!r} runs on telescopic unit "
+                        f"{bound.binding[op]!r} but step "
+                        f"T{step.index} grants it no conditional "
+                        f"extension; a slow completion overruns the "
+                        f"step",
+                        "mark the operation in the step's tau_ops",
+                    )
+                )
+            elif marked and not telescopic:
+                findings.append(
+                    diag(
+                        "SCH006",
+                        "taubm",
+                        f"step T{step.index}",
+                        f"operation {op!r} is marked TAU in step "
+                        f"T{step.index} but runs on fixed-delay unit "
+                        f"{bound.binding[op]!r}",
+                        "only telescopic-bound operations take "
+                        "extensions",
+                    )
+                )
+    missing = scheduled - seen
+    if missing:
+        listing = ", ".join(sorted(missing))
+        findings.append(
+            diag(
+                "SCH006",
+                "taubm",
+                "partition",
+                f"scheduled operations missing from every TAUBM step: "
+                f"{listing}",
+                "the steps must partition the schedule",
+            )
+        )
+    return findings

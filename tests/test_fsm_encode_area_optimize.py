@@ -158,3 +158,93 @@ class TestOptimize:
     def test_algorithm1_controllers_already_minimal(self, fig3_result):
         for fsm in fig3_result.distributed.controllers.values():
             assert merge_equivalent_states(fsm).num_states == fsm.num_states
+
+
+class TestOptimizeLintCommutation:
+    """Optimize-then-lint must agree with lint-then-optimize.
+
+    The static rules of :mod:`repro.verify` and the optimizations here
+    describe the same structure: optimizing away a defect must remove
+    exactly the findings the lint attributed to it, and optimizing an
+    already-clean machine must not change any verdict.
+    """
+
+    def waiting_fsm(self) -> FSM:
+        """Telescopic-style wait loop: self-loop until C_M1, then CC."""
+        return FSM(
+            name="wait",
+            states=("S", "R"),
+            initial="S",
+            inputs=("C_M1",),
+            outputs=("CC_p",),
+            transitions=(
+                make_transition("S", "S", {"C_M1": False}),
+                make_transition("S", "R", {"C_M1": True}, ("CC_p",)),
+                make_transition("R", "S", {}),
+            ),
+        )
+
+    def test_self_loops_survive_optimization(self):
+        fsm = self.waiting_fsm()
+        optimized = merge_equivalent_states(
+            remove_unreachable_states(fsm)
+        )
+        assert optimized.num_states == fsm.num_states
+        assert any(
+            t.source == t.target for t in optimized.transitions
+        )
+
+    def test_completion_branches_survive_optimization(self):
+        from repro.verify import lint_fsm
+
+        fsm = self.waiting_fsm()
+        optimized = merge_equivalent_states(
+            remove_unreachable_states(fsm)
+        )
+        assert "C_M1" in optimized.inputs
+        assert lint_fsm(optimized, available={"C_M1"}) == []
+
+    def test_duplicate_output_states_merge_cleanly(self):
+        from repro.verify import lint_fsm
+
+        fsm = FSM(
+            name="dup",
+            states=("W", "X", "Y"),
+            initial="W",
+            inputs=("go",),
+            outputs=("o",),
+            transitions=(
+                make_transition("W", "X", {"go": True}),
+                make_transition("W", "Y", {"go": False}),
+                make_transition("X", "W", {}, ("o",)),
+                make_transition("Y", "W", {}, ("o",)),
+            ),
+        )
+        before = {d.rule for d in lint_fsm(fsm)}
+        merged = merge_equivalent_states(fsm)
+        assert merged.num_states == 2
+        after = {d.rule for d in lint_fsm(merged)}
+        assert before == after == set()
+
+    def test_removing_unreachable_resolves_fsm001_only(self):
+        from repro.verify import lint_fsm
+
+        fsm = toggle_fsm(extra_unreachable=True)
+        before = lint_fsm(fsm)
+        assert {d.rule for d in before} == {"FSM001"}
+        after = lint_fsm(remove_unreachable_states(fsm))
+        assert after == []
+
+    def test_whole_design_verdicts_commute(self, fig2_result):
+        from repro.verify import LintTarget, lint_target
+
+        target = LintTarget.from_result(fig2_result, name="fig2")
+        optimized = {
+            unit: merge_equivalent_states(
+                remove_unreachable_states(fsm)
+            )
+            for unit, fsm in target.controllers.items()
+        }
+        before = lint_target(target)
+        after = lint_target(target.with_controllers(optimized))
+        assert before.to_json() == after.to_json()

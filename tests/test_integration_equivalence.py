@@ -111,5 +111,5 @@ class TestUnitOccupancy:
                 )
             for intervals in by_unit.values():
                 intervals.sort()
-                for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                for (_, f1), (s2, _) in zip(intervals, intervals[1:]):
                     assert f1 <= s2, (intervals, fast)

@@ -98,7 +98,7 @@ class TestPassManager:
     def test_pass_names_in_order(self):
         assert PassManager().pass_names() == (
             "validate", "schedule", "order", "bind", "taubm",
-            "distributed", "cent-fsms",
+            "distributed", "verify-artifacts", "cent-fsms",
         )
 
     def test_unknown_upto_rejected(self):

@@ -49,7 +49,7 @@ class TestTestbench:
         inputs, sim = scenario
         text = make_testbench(fig3_result, sim, inputs)
         golden = sim.datapath.output_values()
-        for out_name, value in golden.items():
+        for value in golden.values():
             magnitude = -value if value < 0 else value
             assert f"16'sd{magnitude}" in text
         assert '$display("PASS")' in text
