@@ -412,6 +412,7 @@ def run_multilevel(
     policy=None,
     report=None,
     checkpoint=None,
+    fabric=None,
 ) -> MultiLevelResult:
     """Synthesize a benchmark on 3-level VCAUs and compare schemes.
 
@@ -480,6 +481,7 @@ def run_multilevel(
             workers=workers,
             policy=policy,
             report=report,
+            fabric=fabric,
         )
     )
     max_extension = max(
@@ -554,6 +556,7 @@ def run_physical(
     policy=None,
     report=None,
     checkpoint=None,
+    fabric=None,
 ) -> PhysicalRunResult:
     """Drive a design with real operands through a synthesized CSG.
 
@@ -615,6 +618,7 @@ def run_physical(
         workers=workers,
         policy=policy,
         report=report,
+        fabric=fabric,
     )
     total_cycles = sum(cycles for cycles, _, _ in outcomes)
     fast_hits = sum(hits for _, hits, _ in outcomes)

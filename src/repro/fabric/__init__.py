@@ -1,0 +1,61 @@
+"""Distributed campaign fabric: coordinator/worker shard execution.
+
+The fabric distributes the missing shards of a checkpointed campaign
+across worker *processes* (nodes) over a small versioned TCP protocol,
+journaling every result through a primary+backup replicated checkpoint
+before acknowledging it.  Failure handling is the point: dead, hung,
+partitioned or chaos-killed nodes have their shard leases revoked and
+reassigned, and the recovered run's output is byte-identical to an
+uninterrupted serial run.
+
+Layers (each importable on its own):
+
+* :mod:`~repro.fabric.protocol` — framed, versioned, checksummed
+  messages;
+* :mod:`~repro.fabric.replica` — the write-ahead replicated journal;
+* :mod:`~repro.fabric.coordinator` — shard leases, heartbeats,
+  failover;
+* :mod:`~repro.fabric.worker` — the node loop (lease → compute →
+  report);
+* :mod:`~repro.fabric.runtime` — :func:`~repro.fabric.runtime.
+  fabric_map`, the driver-facing entry point wired into
+  :func:`~repro.runtime.journal.checkpointed_map` via ``fabric=``;
+* :mod:`~repro.fabric.drill` — the failover chaos drill behind
+  ``repro fabric drill`` and the CI fabric-chaos-smoke job.
+"""
+
+from .coordinator import Coordinator
+from .protocol import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    recv_message,
+    send_message,
+)
+from .replica import (
+    BACKUP_SUFFIX,
+    ReplicatedJournal,
+    default_backup_path,
+)
+from .runtime import (
+    STATUS_FILE,
+    FabricConfig,
+    fabric_map,
+    replicated_journal_for,
+)
+from .worker import connect_and_serve
+
+__all__ = [
+    "BACKUP_SUFFIX",
+    "Coordinator",
+    "FabricConfig",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "ReplicatedJournal",
+    "STATUS_FILE",
+    "connect_and_serve",
+    "default_backup_path",
+    "fabric_map",
+    "recv_message",
+    "replicated_journal_for",
+    "send_message",
+]

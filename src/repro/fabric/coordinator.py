@@ -1,0 +1,552 @@
+"""The fabric coordinator: shard leases, heartbeats, failover.
+
+One coordinator owns the missing shards of one checkpointed run.  It
+listens on a TCP socket, hands each connecting worker node the pickled
+work function once (``welcome``), then leases shards one at a time on
+request.  Every lease carries a deadline; liveness is tracked through
+one-way worker heartbeats.  A shard result is journaled through the
+:class:`~repro.fabric.replica.ReplicatedJournal` *before* the worker
+receives its ``committed`` ack (write-ahead acknowledgement), so an
+acked shard is durable in both journal copies and a coordinator
+restart resumes byte-identically.
+
+The lease state machine per shard::
+
+    PENDING --grant--> LEASED --commit--> DONE
+       ^                 |
+       |   revoke (lease deadline passed, heartbeats missed,
+       +---- connection lost, or worker process reaped) ------+
+
+Revocations and node losses are recovery *events*, never errors: the
+shard re-enters the pending queue (or, after repeated revocations,
+runs in the coordinator process itself) and the run completes with
+output byte-identical to a serial run.  A worker that was revoked but
+survives (slow heartbeats, long hang) may still commit its shard late;
+commits are idempotent, and the pure work function guarantees both
+computations produced the same bytes.
+
+Timing is deterministic where it matters: lease deadlines and the
+heartbeat-miss window are jittered with the shared SHA-256
+:func:`~repro.perf.engine.deterministic_jitter` scheme (same as
+:meth:`~repro.runtime.policy.RunPolicy.backoff_delay`), never with a
+wall-clock RNG, so chaos drills replay along identical schedules.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import (
+    FabricError,
+    FabricProtocolError,
+    SupervisionError,
+)
+from ..perf.engine import deterministic_jitter
+from ..runtime.policy import RunPolicy, RunReport, record_event
+from .protocol import recv_message, send_message
+from .replica import ReplicatedJournal
+
+#: idle poll interval of the lease monitor thread (seconds)
+MONITOR_TICK_S = 0.05
+
+#: heartbeats a node may miss before its leases are revoked
+HEARTBEAT_MISSES = 4
+
+
+@dataclass
+class _Lease:
+    shard: int
+    node: int
+    deadline: float
+    grant: int
+
+
+@dataclass
+class _Node:
+    node_id: int
+    last_seen: float
+    lost: bool = False
+    leases: set = field(default_factory=set)
+
+
+class Coordinator:
+    """Lease missing shards to worker nodes and journal every result.
+
+    ``work`` maps shard index → work item (only the shards a replay
+    pass found missing); ``keys`` maps shard index → content-addressed
+    journal key.  ``policy`` supplies the failure retry budget, the
+    ``on_failure`` last resort and the chaos configuration shipped to
+    workers; ``heartbeat_s`` and ``lease_timeout_s`` come from the
+    :class:`~repro.fabric.runtime.FabricConfig`.
+    """
+
+    def __init__(
+        self,
+        fn,
+        work: "dict[int, object]",
+        *,
+        keys: "dict[int, str]",
+        journal: ReplicatedJournal,
+        policy: "RunPolicy | None" = None,
+        report: "RunReport | None" = None,
+        token: str = "",
+        bind_host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_s: float = 0.25,
+        lease_timeout_s: float = 60.0,
+    ) -> None:
+        self._fn = fn
+        self._work = dict(work)
+        self._keys = dict(keys)
+        self._journal = journal
+        self._policy = policy if policy is not None else RunPolicy()
+        self._report = report
+        self._token = token
+        self._bind_host = bind_host
+        self._port = port
+        self._heartbeat_s = heartbeat_s
+        self._lease_timeout_s = lease_timeout_s
+        self._task_blob = pickle.dumps(
+            (fn, self._policy.chaos), protocol=4
+        )
+
+        self._lock = threading.Lock()
+        self._pending: deque[int] = deque(sorted(self._work))
+        self._leases: "dict[int, _Lease]" = {}
+        self._grants: "dict[int, int]" = {}
+        self._failures: "dict[int, int]" = {}
+        self._revocations: "dict[int, int]" = {}
+        self._results: "dict[int, object]" = {}
+        self._nodes: "dict[int, _Node]" = {}
+        self._local_queue: deque[int] = deque()
+        self._fatal: "BaseException | None" = None
+        self._done = threading.Event()
+        self._server: "socket.socket | None" = None
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        if not self._work:
+            self._done.set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "tuple[str, int]":
+        """Bind, start the accept and monitor threads, return the
+        address workers should connect to."""
+        self._server = socket.create_server(
+            (self._bind_host, self._port)
+        )
+        self._server.settimeout(MONITOR_TICK_S * 4)
+        for target in (self._accept_loop, self._monitor_loop):
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self.address
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        if self._server is None:
+            raise FabricError("coordinator is not listening yet")
+        host, port = self._server.getsockname()[:2]
+        return host, port
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        return self._done.wait(timeout)
+
+    def results(self) -> "dict[int, object]":
+        """Computed shard values; raises the fatal error, if any."""
+        if self._fatal is not None:
+            raise self._fatal
+        with self._lock:
+            missing = [i for i in self._work if i not in self._results]
+            if missing:
+                raise FabricError(
+                    f"fabric run ended with {len(missing)} uncomputed "
+                    f"shard(s): {missing[:8]}"
+                )
+            return dict(self._results)
+
+    def close(self) -> None:
+        self._closed = True
+        self._done.set()
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:  # pragma: no cover - racing close
+                pass
+
+    # ------------------------------------------------------------------
+    # shared state transitions (call with the lock held)
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, detail: str, **kwargs) -> None:
+        record_event(self._report, kind, detail, **kwargs)
+
+    def _revocation_cap(self) -> int:
+        return max(3, self._policy.retry_budget() + 1)
+
+    def _requeue_locked(self, shard: int, why: str) -> None:
+        """Return a revoked shard to the queue (or to local compute)."""
+        self._revocations[shard] = self._revocations.get(shard, 0) + 1
+        self._record(
+            "lease-revoke",
+            f"lease on shard {shard} revoked ({why}); reassigning",
+            item=shard,
+            attempt=self._revocations[shard],
+        )
+        if self._revocations[shard] >= self._revocation_cap():
+            self._record(
+                "serial-degrade",
+                f"shard {shard} was revoked "
+                f"{self._revocations[shard]} times; computing it in "
+                f"the coordinator process",
+                item=shard,
+            )
+            self._local_queue.append(shard)
+        else:
+            self._pending.append(shard)
+
+    def _revoke_node_locked(self, node_id: int, why: str) -> None:
+        node = self._nodes.get(node_id)
+        if node is None or node.lost:
+            return
+        node.lost = True
+        held = sorted(node.leases)
+        for shard in held:
+            lease = self._leases.pop(shard, None)
+            if lease is not None and shard not in self._results:
+                self._requeue_locked(shard, f"node {node_id} {why}")
+        node.leases.clear()
+        self._record(
+            "node-loss",
+            f"worker node {node_id} {why}"
+            + (f" holding shard(s) {held}" if held else ""),
+        )
+
+    def revoke_node(self, node_id: int, why: str) -> None:
+        """Revoke every lease of a node known to be gone (reaped
+        process, severed connection)."""
+        if self.done:
+            return
+        with self._lock:
+            self._revoke_node_locked(node_id, why)
+
+    def absorb_pending(self) -> None:
+        """Move every queued shard to the local compute queue.
+
+        The runtime's last resort when no worker nodes remain and the
+        restart budget is spent: the coordinator process finishes the
+        campaign itself rather than deadlocking on an empty fleet.
+        Shards still under (doomed) leases are picked up once the
+        monitor revokes them.
+        """
+        with self._lock:
+            while self._pending:
+                shard = self._pending.popleft()
+                if shard in self._results:
+                    continue
+                self._record(
+                    "serial-degrade",
+                    f"no worker nodes remain; computing shard "
+                    f"{shard} in the coordinator process",
+                    item=shard,
+                )
+                self._local_queue.append(shard)
+
+    def _fail_fatally(self, error: BaseException) -> None:
+        if self._fatal is None:
+            self._fatal = error
+        self._done.set()
+
+    # ------------------------------------------------------------------
+    # commit / failure paths
+    # ------------------------------------------------------------------
+    def _commit(self, shard: int, value: object) -> bool:
+        """Journal and store one shard; False when it was already
+        committed (idempotent late delivery)."""
+        with self._lock:
+            if shard in self._results or self._fatal is not None:
+                return False
+            lease = self._leases.pop(shard, None)
+            if lease is not None:
+                node = self._nodes.get(lease.node)
+                if node is not None:
+                    node.leases.discard(shard)
+            try:
+                self._journal.put(self._keys[shard], value)
+            except BaseException as exc:
+                self._fail_fatally(exc)
+                raise
+            self._results[shard] = value
+            if len(self._results) == len(self._work):
+                self._done.set()
+            return True
+
+    def _handle_failure(self, shard: int, detail: str) -> None:
+        policy = self._policy
+        with self._lock:
+            lease = self._leases.pop(shard, None)
+            if lease is not None:
+                node = self._nodes.get(lease.node)
+                if node is not None:
+                    node.leases.discard(shard)
+            if shard in self._results:
+                return
+            self._failures[shard] = self._failures.get(shard, 0) + 1
+            attempts = self._failures[shard]
+            if attempts < policy.retry_budget():
+                self._record(
+                    "retry", detail, item=shard, attempt=attempts
+                )
+                self._pending.append(shard)
+                return
+            if policy.on_failure == "skip":
+                self._record(
+                    "skip",
+                    f"dropped after {attempts} attempt(s): {detail}",
+                    item=shard,
+                    attempt=attempts,
+                )
+            elif policy.on_failure == "serial":
+                self._record(
+                    "serial-degrade",
+                    f"final in-process attempt after {attempts} "
+                    f"fabric attempt(s): {detail}",
+                    item=shard,
+                    attempt=attempts,
+                )
+                self._local_queue.append(shard)
+                return
+            else:
+                self._fail_fatally(
+                    SupervisionError(
+                        f"work item {shard} failed after {attempts} "
+                        f"attempt(s): {detail}",
+                        item=shard,
+                        attempts=attempts,
+                    )
+                )
+                return
+        # on_failure == "skip": the hole is an explicit None result
+        self._commit_skip(shard)
+
+    def _commit_skip(self, shard: int) -> None:
+        try:
+            self._commit(shard, None)
+        except BaseException:
+            pass
+
+    def run_local(self, shard: int) -> None:
+        """Compute one shard in the coordinator process and commit."""
+        try:
+            value = self._fn(self._work[shard])
+        except BaseException as exc:
+            self._fail_fatally(exc)
+            return
+        try:
+            self._commit(shard, value)
+        except BaseException:
+            pass
+
+    # ------------------------------------------------------------------
+    # background threads
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                if self.done:
+                    return
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _monitor_loop(self) -> None:
+        miss_window = (
+            self._heartbeat_s
+            * HEARTBEAT_MISSES
+            * deterministic_jitter("fabric-heartbeat-window", 0)
+        )
+        while not self._done.wait(MONITOR_TICK_S):
+            now = time.monotonic()
+            with self._lock:
+                for shard, lease in list(self._leases.items()):
+                    if now >= lease.deadline:
+                        node = self._nodes.get(lease.node)
+                        if node is not None:
+                            node.leases.discard(shard)
+                        del self._leases[shard]
+                        self._requeue_locked(
+                            shard,
+                            f"deadline expired on node {lease.node} "
+                            f"(grant {lease.grant})",
+                        )
+                for node in list(self._nodes.values()):
+                    if (
+                        not node.lost
+                        and node.leases
+                        and now - node.last_seen > miss_window
+                    ):
+                        self._revoke_node_locked(
+                            node.node_id,
+                            f"missed heartbeats for "
+                            f"{now - node.last_seen:.2f}s",
+                        )
+            self._drain_local_queue()
+        self._drain_local_queue()
+
+    def _drain_local_queue(self) -> None:
+        while True:
+            with self._lock:
+                if not self._local_queue:
+                    return
+                shard = self._local_queue.popleft()
+                if shard in self._results:
+                    continue
+            self.run_local(shard)
+
+    # ------------------------------------------------------------------
+    # per-connection protocol
+    # ------------------------------------------------------------------
+    def _grant(self, sock: socket.socket, node_id: int) -> None:
+        with self._lock:
+            if self.done:
+                send_message(sock, {"type": "drain"})
+                return
+            while self._pending:
+                shard = self._pending.popleft()
+                if shard not in self._results:
+                    break
+            else:
+                send_message(
+                    sock,
+                    {"type": "wait", "poll_s": self._heartbeat_s},
+                )
+                return
+            self._grants[shard] = self._grants.get(shard, 0) + 1
+            grant = self._grants[shard]
+            lease_s = self._lease_timeout_s * deterministic_jitter(
+                "fabric-lease", shard, grant
+            )
+            lease = _Lease(
+                shard=shard,
+                node=node_id,
+                deadline=time.monotonic() + lease_s,
+                grant=grant,
+            )
+            self._leases[shard] = lease
+            node = self._nodes.get(node_id)
+            if node is not None:
+                node.leases.add(shard)
+                node.lost = False
+            item_blob = pickle.dumps(self._work[shard], protocol=4)
+        send_message(
+            sock,
+            {
+                "type": "lease",
+                "shard": shard,
+                "lease_s": round(lease_s, 6),
+            },
+            item_blob,
+        )
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        node_id: "int | None" = None
+        try:
+            while True:
+                frame = recv_message(sock)
+                if frame is None:
+                    break
+                header, blob = frame
+                kind = header["type"]
+                if kind == "hello":
+                    if header.get("token") != self._token:
+                        send_message(
+                            sock,
+                            {
+                                "type": "reject",
+                                "reason": "bad session token",
+                            },
+                        )
+                        break
+                    node_id = int(header["node"])
+                    with self._lock:
+                        self._nodes[node_id] = _Node(
+                            node_id=node_id,
+                            last_seen=time.monotonic(),
+                        )
+                    send_message(
+                        sock,
+                        {
+                            "type": "welcome",
+                            "node": node_id,
+                            "heartbeat_s": self._heartbeat_s,
+                            "lease_timeout_s": self._lease_timeout_s,
+                        },
+                        self._task_blob,
+                    )
+                elif kind == "heartbeat":
+                    with self._lock:
+                        node = self._nodes.get(int(header["node"]))
+                        if node is not None:
+                            node.last_seen = time.monotonic()
+                elif kind == "need-work":
+                    if node_id is None:
+                        raise FabricProtocolError(
+                            "need-work before hello"
+                        )
+                    self._grant(sock, node_id)
+                elif kind == "result":
+                    shard = int(header["shard"])
+                    value = pickle.loads(blob)
+                    self._commit(shard, value)
+                    send_message(
+                        sock, {"type": "committed", "shard": shard}
+                    )
+                elif kind == "failed":
+                    shard = int(header["shard"])
+                    self._handle_failure(
+                        shard, str(header.get("detail", ""))
+                    )
+                    send_message(
+                        sock, {"type": "noted", "shard": shard}
+                    )
+                elif kind == "bye":
+                    break
+                else:
+                    raise FabricProtocolError(
+                        f"unexpected message type {kind!r}"
+                    )
+        except (FabricProtocolError, OSError, EOFError):
+            pass
+        except BaseException:  # pragma: no cover - defensive funnel
+            self._fail_fatally(
+                FabricError(
+                    "coordinator connection handler crashed:\n"
+                    + traceback.format_exc()
+                )
+            )
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - racing close
+                pass
+            if node_id is not None and not self.done:
+                self.revoke_node(node_id, "connection lost")

@@ -1,0 +1,129 @@
+"""Versioned, checksummed message framing for the campaign fabric.
+
+One frame carries one message: a small JSON header (type, shard ids,
+node ids, timing parameters) plus an optional binary blob (the pickled
+work function, item or result).  The layout is::
+
+    MAGIC(4) | header_len(u32 BE) | blob_len(u32 BE) | header | blob
+
+* **versioned** — every header carries ``"v": PROTOCOL_VERSION``; a
+  peer speaking another version is rejected before any payload is
+  interpreted, so coordinator and workers from different builds fail
+  loudly instead of mis-parsing each other;
+* **checksummed** — a non-empty blob's SHA-256 travels in the header
+  (``blob_sha256``) and is verified on receipt, so a torn or corrupted
+  transfer surfaces as :class:`~repro.errors.FabricProtocolError`, not
+  as a poisoned shard;
+* **bounded** — header and blob lengths are capped, so a garbage
+  prefix cannot make the receiver allocate gigabytes.
+
+The blob is a pickle: the fabric link is a *trusted* transport between
+processes the operator started (localhost by default), exactly like the
+journal's on-disk shards.  Never expose the coordinator socket to an
+untrusted network.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+
+from ..errors import FabricProtocolError
+
+#: first bytes of every frame; reject foreign traffic immediately
+MAGIC = b"RFAB"
+
+#: bump on any incompatible message-shape change
+PROTOCOL_VERSION = 1
+
+#: sanity caps (the header is metadata; blobs carry pickled designs)
+MAX_HEADER_BYTES = 1 << 20
+MAX_BLOB_BYTES = 1 << 30
+
+_PREFIX = struct.Struct(">II")
+
+
+def send_message(
+    sock: socket.socket, header: dict, blob: bytes = b""
+) -> None:
+    """Serialize and send one frame (header dict + optional blob)."""
+    head = dict(header)
+    head["v"] = PROTOCOL_VERSION
+    if blob:
+        head["blob_sha256"] = hashlib.sha256(blob).hexdigest()
+    encoded = json.dumps(head, sort_keys=True).encode("utf-8")
+    sock.sendall(
+        MAGIC + _PREFIX.pack(len(encoded), len(blob)) + encoded + blob
+    )
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, *, eof_ok: bool = False
+) -> "bytes | None":
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a frame
+    boundary (only when ``eof_ok``); raise on EOF mid-frame."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and not chunks:
+                return None
+            raise FabricProtocolError(
+                f"connection closed mid-frame ({remaining} of {count} "
+                f"byte(s) outstanding)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(
+    sock: socket.socket,
+) -> "tuple[dict, bytes] | None":
+    """Receive one frame; ``None`` when the peer closed cleanly.
+
+    Verifies magic, version, length caps and the blob checksum; any
+    violation raises :class:`~repro.errors.FabricProtocolError`.
+    """
+    prefix = _recv_exact(sock, len(MAGIC) + _PREFIX.size, eof_ok=True)
+    if prefix is None:
+        return None
+    if prefix[: len(MAGIC)] != MAGIC:
+        raise FabricProtocolError(
+            f"bad frame magic {prefix[:len(MAGIC)]!r}; peer is not a "
+            f"repro fabric endpoint"
+        )
+    head_len, blob_len = _PREFIX.unpack(prefix[len(MAGIC):])
+    if head_len > MAX_HEADER_BYTES or blob_len > MAX_BLOB_BYTES:
+        raise FabricProtocolError(
+            f"oversized frame (header {head_len} B, blob {blob_len} B)"
+        )
+    try:
+        header = json.loads(_recv_exact(sock, head_len))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FabricProtocolError(
+            f"unparseable frame header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise FabricProtocolError(
+            "frame header is not a typed message object"
+        )
+    if header.get("v") != PROTOCOL_VERSION:
+        raise FabricProtocolError(
+            f"protocol version mismatch: peer speaks "
+            f"{header.get('v')!r}, this build speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+    blob = _recv_exact(sock, blob_len) if blob_len else b""
+    if blob:
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != header.get("blob_sha256"):
+            raise FabricProtocolError(
+                f"blob checksum mismatch on {header['type']!r} "
+                f"message (got {digest[:12]}…, header claims "
+                f"{str(header.get('blob_sha256'))[:12]}…)"
+            )
+    return header, blob

@@ -1,0 +1,145 @@
+"""Primary/backup replication for checkpoint journals.
+
+A single :class:`~repro.runtime.journal.CheckpointJournal` already
+survives torn writes (atomic publish) and bit rot (checksum +
+quarantine), but a quarantined shard is *recomputed* — acceptable for
+one cheap trial, wasteful for an expensive campaign row, and fatal for
+the fabric's write-ahead ack protocol, which promises a worker that an
+acknowledged shard will never be asked for again.
+
+:class:`ReplicatedJournal` keeps two journal directories in lockstep:
+
+* **write-ahead commit** — ``put`` persists the shard to the primary
+  *and* the backup (each with its own fsync + atomic rename) before
+  returning; the fabric coordinator only acknowledges a worker's
+  result after ``put`` returns, so an acked shard is durable in both
+  copies;
+* **self-healing reads** — ``get`` verifies both copies; a missing or
+  corrupt copy is restored byte-for-byte from its verified twin (a
+  ``journal-repair`` event), and only when *both* copies fail does the
+  shard report missing and get recomputed;
+* **byte-identical recovery** — repairs copy the original checksummed
+  shard bytes, never re-encode, so a resumed run replays exactly the
+  values an uninterrupted run would have produced.
+
+A plain single-directory checkpoint from an earlier serial run can be
+adopted directly: the backup starts empty and is populated by repair
+on first read.
+"""
+
+from __future__ import annotations
+
+from ..errors import CheckpointError
+from ..runtime.journal import CheckpointJournal
+from ..runtime.policy import RunReport, record_event
+
+#: suffix appended to a primary journal path to derive its default
+#: backup directory
+BACKUP_SUFFIX = "-replica"
+
+
+def default_backup_path(primary_path: str) -> str:
+    """Backup directory derived from a primary journal directory."""
+    return primary_path.rstrip("/\\") + BACKUP_SUFFIX
+
+
+class ReplicatedJournal:
+    """Two checkpoint journals kept consistent by repair-on-read.
+
+    ``repaired`` counts shards restored from their twin this run
+    (each also recorded as a ``journal-repair`` recovery event).
+    """
+
+    def __init__(
+        self,
+        primary: CheckpointJournal,
+        backup: CheckpointJournal,
+        *,
+        report: "RunReport | None" = None,
+    ) -> None:
+        if primary.path == backup.path:
+            raise CheckpointError(
+                "a replicated journal needs two distinct directories, "
+                f"got {primary.path!r} twice"
+            )
+        self.primary = primary
+        self.backup = backup
+        self.report = report
+        if primary.report is None:
+            primary.report = report
+        if backup.report is None:
+            backup.report = report
+        self.repaired = 0
+
+    @staticmethod
+    def key(run_key: str, shard: object) -> str:
+        return CheckpointJournal.key(run_key, shard)
+
+    def _repair(
+        self,
+        dest: CheckpointJournal,
+        src: CheckpointJournal,
+        key: str,
+    ) -> None:
+        """Copy the verified shard bytes of ``key`` from ``src``."""
+        try:
+            with open(src.shard_file(key), "rb") as handle:
+                blob = handle.read()
+        except OSError:  # pragma: no cover - racing cleanup
+            return
+        dest.restore(key, blob)
+        self.repaired += 1
+        record_event(
+            self.report,
+            "journal-repair",
+            f"shard {key[:12]}… restored into {dest.path} from its "
+            f"replica in {src.path}",
+        )
+
+    def get(self, key: str) -> "tuple[bool, object]":
+        """``(True, value)`` when either copy verifies, else
+        ``(False, None)``.
+
+        Verifies both copies; whichever is missing or corrupt (the
+        journal quarantines corrupt files itself) is restored from the
+        verified twin.  Only a shard lost in *both* directories is
+        reported missing.
+        """
+        ok_primary, value = self.primary.get(key)
+        ok_backup, backup_value = self.backup.get(key)
+        if ok_primary:
+            if not ok_backup:
+                self._repair(self.backup, self.primary, key)
+            return True, value
+        if ok_backup:
+            self._repair(self.primary, self.backup, key)
+            return True, backup_value
+        return False, None
+
+    def put(self, key: str, value: object) -> None:
+        """Commit one shard to both copies (primary first).
+
+        The caller may acknowledge the shard as durable only after
+        this returns: a crash between the two writes leaves the
+        primary ahead, which repair-on-read reconciles on resume.
+        """
+        self.primary.put(key, value)
+        self.backup.put(key, value)
+
+    def counters(self) -> dict:
+        """Structured counters for status displays and drills."""
+        return {
+            "primary": {
+                "path": self.primary.path,
+                "new_shards": self.primary.new_shards,
+                "replayed": self.primary.replayed,
+                "quarantined": self.primary.quarantined,
+            },
+            "backup": {
+                "path": self.backup.path,
+                "new_shards": self.backup.new_shards,
+                "replayed": self.backup.replayed,
+                "quarantined": self.backup.quarantined,
+            },
+            "repaired": self.repaired,
+        }

@@ -1,0 +1,306 @@
+"""Drive one checkpointed campaign across coordinator + worker nodes.
+
+:func:`fabric_map` is the fabric's answer to
+:func:`~repro.runtime.journal.checkpointed_map`: same signature shape,
+same run keys, same shard bytes — a serial run, a ``-j`` pool run and a
+fabric run all resume each other's checkpoint directories and render
+byte-identical output.  What changes is *where* shards are computed:
+
+1. replay every shard the :class:`~repro.fabric.replica.
+   ReplicatedJournal` already holds (repairing whichever copy lost a
+   shard);
+2. start a :class:`~repro.fabric.coordinator.Coordinator` for the
+   missing shards and publish its address + session token in
+   ``fabric.json`` inside the checkpoint directory (that is what
+   ``repro fabric worker --join DIR`` reads);
+3. spawn ``nodes`` worker processes (``python -m repro fabric
+   worker``) and supervise them: a node that dies is revoked at the
+   coordinator and respawned under the same node id while the restart
+   budget lasts (``node-restart`` events);
+4. when no worker nodes remain and no restarts are left, the
+   coordinator absorbs the queue and finishes in-process
+   (``serial-degrade``) — the fabric degrades, it does not deadlock.
+
+A :class:`~repro.errors.CheckpointInterrupted` raised by the primary
+journal mid-commit propagates out exactly as it does from
+``checkpointed_map`` — that is the deterministic stand-in for a
+coordinator kill, and rerunning the same call resumes byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import subprocess
+import sys
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from ..errors import CheckpointError, SimulationError
+from ..perf.engine import _is_picklable, _warn_serial_fallback
+from ..runtime.journal import (
+    CheckpointJournal,
+    atomic_write_text,
+    resolve_journal,
+)
+from ..runtime.policy import (
+    RunPolicy,
+    RunReport,
+    current_report,
+    record_event,
+)
+from .coordinator import Coordinator
+from .replica import ReplicatedJournal, default_backup_path
+
+#: name of the coordinator-address file inside the checkpoint directory
+STATUS_FILE = "fabric.json"
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Topology and timing of one fabric run.
+
+    ``nodes`` worker processes are spawned on localhost; ``port=0``
+    lets the OS pick a free coordinator port.  ``backup_dir`` overrides
+    the replicated journal's backup directory (default: the primary
+    checkpoint directory plus ``-replica``).  ``max_node_restarts``
+    caps respawns of dead worker nodes across the whole run (``None``
+    means twice the node count); once spent, remaining shards finish in
+    the coordinator process.
+    """
+
+    nodes: int = 2
+    heartbeat_s: float = 0.25
+    lease_timeout_s: float = 30.0
+    bind_host: str = "127.0.0.1"
+    port: int = 0
+    backup_dir: "str | None" = None
+    max_node_restarts: "int | None" = None
+    drain_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise SimulationError(
+                f"a fabric needs at least one worker node, got "
+                f"{self.nodes}"
+            )
+        if self.heartbeat_s <= 0 or self.lease_timeout_s <= 0:
+            raise SimulationError(
+                "heartbeat_s and lease_timeout_s must be positive"
+            )
+        if (
+            self.max_node_restarts is not None
+            and self.max_node_restarts < 0
+        ):
+            raise SimulationError(
+                f"max_node_restarts must be >= 0, got "
+                f"{self.max_node_restarts}"
+            )
+
+    def restart_budget(self) -> int:
+        if self.max_node_restarts is None:
+            return 2 * self.nodes
+        return self.max_node_restarts
+
+
+def _spawn_worker(
+    host: str, port: int, token: str, node_id: int
+) -> subprocess.Popen:
+    """Start one worker node process joined to the coordinator."""
+    import repro
+
+    src_dir = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))
+    )
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_dir + os.pathsep + existing if existing else src_dir
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "fabric",
+            "worker",
+            "--connect",
+            f"{host}:{port}",
+            "--token",
+            token,
+            "--node",
+            str(node_id),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+    )
+
+
+def _shutdown_workers(
+    procs: "dict[int, subprocess.Popen]", grace_s: float
+) -> None:
+    """Reap drained workers; escalate to SIGTERM/SIGKILL past grace."""
+    deadline = time.monotonic() + grace_s
+    for proc in procs.values():
+        remaining = max(deadline - time.monotonic(), 0.1)
+        try:
+            proc.wait(timeout=remaining)
+            continue
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+        try:
+            proc.wait(timeout=1.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def replicated_journal_for(
+    checkpoint: "CheckpointJournal | str",
+    *,
+    backup_dir: "str | None" = None,
+    report: "RunReport | None" = None,
+) -> ReplicatedJournal:
+    """The primary+backup journal pair for a checkpoint directory."""
+    journal = resolve_journal(checkpoint)
+    if journal.report is None:
+        journal.report = report
+    backup = CheckpointJournal(
+        backup_dir or default_backup_path(journal.path), report=report
+    )
+    return ReplicatedJournal(journal, backup, report=report)
+
+
+def fabric_map(
+    fn: Callable,
+    items: Iterable,
+    *,
+    run_key: str,
+    checkpoint: "CheckpointJournal | str | None",
+    config: "FabricConfig | None" = None,
+    policy: "RunPolicy | None" = None,
+    report: "RunReport | None" = None,
+) -> list:
+    """Order-preserving checkpointed map over fabric worker nodes.
+
+    Returns the same list ``checkpointed_map`` (and a plain serial
+    loop) would; every computed shard is committed to the replicated
+    journal before the worker that produced it is acknowledged.
+    """
+    if config is None:
+        config = FabricConfig()
+    if checkpoint is None:
+        raise CheckpointError(
+            "the campaign fabric requires a checkpoint directory: the "
+            "replicated journal is its write-ahead commit log"
+        )
+    if report is None:
+        report = current_report()
+    replicated = replicated_journal_for(
+        checkpoint, backup_dir=config.backup_dir, report=report
+    )
+    journal = replicated.primary
+
+    work = list(items)
+    keys = [
+        replicated.key(run_key, index) for index in range(len(work))
+    ]
+    results: list = [None] * len(work)
+    missing: "dict[int, object]" = {}
+    for index, key in enumerate(keys):
+        found, value = replicated.get(key)
+        if found:
+            results[index] = value
+        else:
+            missing[index] = work[index]
+    if not missing:
+        return results
+
+    first = next(iter(missing.values()))
+    if not (_is_picklable(fn) and _is_picklable(first)):
+        # Nothing unpicklable can cross the fabric wire; keep the
+        # result contract by finishing in-process.
+        _warn_serial_fallback(fn, first, report)
+        for index in sorted(missing):
+            value = fn(missing[index])
+            replicated.put(keys[index], value)
+            results[index] = value
+        return results
+
+    token = secrets.token_hex(16)
+    coordinator = Coordinator(
+        fn,
+        missing,
+        keys={index: keys[index] for index in missing},
+        journal=replicated,
+        policy=policy,
+        report=report,
+        token=token,
+        bind_host=config.bind_host,
+        port=config.port,
+        heartbeat_s=config.heartbeat_s,
+        lease_timeout_s=config.lease_timeout_s,
+    )
+    host, port = coordinator.start()
+    status_path = os.path.join(journal.path, STATUS_FILE)
+    atomic_write_text(
+        status_path,
+        json.dumps(
+            {
+                "address": {"host": host, "port": port},
+                "token": token,
+                "pid": os.getpid(),
+                "nodes": config.nodes,
+                "run_key": run_key,
+                "shards_total": len(work),
+                "shards_missing": len(missing),
+                "backup": replicated.backup.path,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+    )
+    procs: "dict[int, subprocess.Popen]" = {}
+    restarts_left = config.restart_budget()
+    try:
+        for node_id in range(config.nodes):
+            procs[node_id] = _spawn_worker(host, port, token, node_id)
+        while not coordinator.wait(0.05):
+            for node_id, proc in list(procs.items()):
+                code = proc.poll()
+                if code is None:
+                    continue
+                del procs[node_id]
+                if coordinator.done or code == 0:
+                    continue
+                coordinator.revoke_node(
+                    node_id, f"process exited with code {code}"
+                )
+                if restarts_left > 0:
+                    restarts_left -= 1
+                    record_event(
+                        report,
+                        "node-restart",
+                        f"respawned worker node {node_id} after exit "
+                        f"code {code} ({restarts_left} restart(s) "
+                        f"left in budget)",
+                    )
+                    procs[node_id] = _spawn_worker(
+                        host, port, token, node_id
+                    )
+            if not procs and not coordinator.done:
+                coordinator.absorb_pending()
+    finally:
+        coordinator.close()
+        _shutdown_workers(procs, config.drain_grace_s)
+        try:
+            os.unlink(status_path)
+        except OSError:
+            pass
+    computed = coordinator.results()
+    for index, value in computed.items():
+        results[index] = value
+    return results

@@ -1,0 +1,233 @@
+"""The fabric worker node: lease, compute, report, heartbeat.
+
+A worker node is one OS process (usually spawned by
+:func:`~repro.fabric.runtime.fabric_map`, but ``repro fabric worker``
+can join a coordinator from anywhere on the same host).  Its life:
+
+1. connect and ``hello`` with the session token; the ``welcome`` reply
+   carries the pickled work function and chaos configuration;
+2. start a background heartbeat thread — one-way ``heartbeat``
+   messages at the coordinator-chosen interval (deterministically
+   jittered per node so a fleet never beats in lockstep);
+3. loop: ``need-work`` → ``lease`` (compute, report the ``result``,
+   wait for the write-ahead ``committed`` ack), ``wait`` (sleep and
+   ask again) or ``drain`` (send ``bye`` and exit 0).
+
+Chaos injection happens *here*, in the node that must die:
+:func:`~repro.runtime.chaos.chaos_apply` runs before each shard (crash
+/ SIGKILL / fail / hang), and a claimed partition severs the
+connection *after* computing a shard but before reporting it —
+the cruellest loss, which the coordinator must recover from by
+recomputing a shard that was already finished somewhere.
+
+A worker exits non-zero on any protocol or connection error *while
+holding a lease*; the runtime's node supervisor decides whether to
+respawn it.  Losing the coordinator while idle (between leases) is a
+clean drain — the campaign ended before a graceful ``drain`` message
+could arrive, and the node has nothing to hand back.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import time
+import traceback
+
+from ..errors import FabricProtocolError
+from ..perf.engine import deterministic_jitter
+from ..runtime.chaos import chaos_apply
+from .protocol import recv_message, send_message
+
+#: worker exit codes the node supervisor can tell apart
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_REJECTED = 2
+EXIT_PARTITIONED = 3
+
+
+class _Heartbeat(threading.Thread):
+    """One-way liveness beacon sharing the worker's socket.
+
+    Sends are serialized with the work loop through ``send_lock``;
+    the worker never expects a reply to a heartbeat, so the receive
+    stream stays a clean request/response sequence for the work loop.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        send_lock: threading.Lock,
+        node_id: int,
+        interval_s: float,
+    ) -> None:
+        super().__init__(daemon=True)
+        self._sock = sock
+        self._send_lock = send_lock
+        self._node_id = node_id
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                with self._send_lock:
+                    send_message(
+                        self._sock,
+                        {"type": "heartbeat", "node": self._node_id},
+                    )
+            except OSError:
+                return
+
+
+def _request(
+    sock: socket.socket,
+    send_lock: threading.Lock,
+    header: dict,
+    blob: bytes = b"",
+) -> "tuple[dict, bytes]":
+    """Send one request and block for its reply."""
+    with send_lock:
+        send_message(sock, header, blob)
+    frame = recv_message(sock)
+    if frame is None:
+        raise FabricProtocolError(
+            "coordinator closed the connection mid-conversation"
+        )
+    return frame
+
+
+def connect_and_serve(
+    host: str,
+    port: int,
+    *,
+    token: str,
+    node_id: int,
+    connect_timeout_s: float = 10.0,
+) -> int:
+    """Join a coordinator and work until drained.
+
+    Returns a process exit code (``EXIT_OK`` on a clean drain); the
+    ``repro fabric worker`` subcommand passes it straight to
+    ``sys.exit``.
+    """
+    sock = socket.create_connection(
+        (host, port), timeout=connect_timeout_s
+    )
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+    heartbeat: "_Heartbeat | None" = None
+    try:
+        header, blob = _request(
+            sock,
+            send_lock,
+            {"type": "hello", "token": token, "node": node_id},
+        )
+        if header["type"] == "reject":
+            print(
+                f"fabric worker {node_id}: rejected: "
+                f"{header.get('reason', 'unknown reason')}",
+                flush=True,
+            )
+            return EXIT_REJECTED
+        if header["type"] != "welcome":
+            raise FabricProtocolError(
+                f"expected welcome, got {header['type']!r}"
+            )
+        fn, chaos = pickle.loads(blob)
+        heartbeat_s = float(header["heartbeat_s"])
+        interval_s = heartbeat_s * deterministic_jitter(
+            "fabric-heartbeat", node_id
+        )
+        if chaos is not None:
+            interval_s *= chaos.heartbeat_scale(node_id)
+        heartbeat = _Heartbeat(sock, send_lock, node_id, interval_s)
+        heartbeat.start()
+
+        while True:
+            try:
+                header, blob = _request(
+                    sock,
+                    send_lock,
+                    {"type": "need-work", "node": node_id},
+                )
+            except (FabricProtocolError, OSError):
+                # The coordinator vanished while this node held no
+                # lease: the campaign ended (drained, finished, or
+                # the coordinator died) before a graceful ``drain``
+                # could arrive.  Nothing was lost, so this is a clean
+                # exit — an operator-adopted node (``--join``) must
+                # not report an error because the run finished first.
+                print(
+                    f"fabric worker {node_id}: coordinator gone "
+                    f"while idle; draining",
+                    flush=True,
+                )
+                return EXIT_OK
+            kind = header["type"]
+            if kind == "drain":
+                with send_lock:
+                    send_message(
+                        sock, {"type": "bye", "node": node_id}
+                    )
+                return EXIT_OK
+            if kind == "wait":
+                time.sleep(float(header.get("poll_s", 0.05)))
+                continue
+            if kind != "lease":
+                raise FabricProtocolError(
+                    f"expected lease/wait/drain, got {kind!r}"
+                )
+            shard = int(header["shard"])
+            item = pickle.loads(blob)
+            try:
+                chaos_apply(chaos, shard)
+                value = fn(item)
+            except BaseException as exc:
+                detail = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                reply, _ = _request(
+                    sock,
+                    send_lock,
+                    {
+                        "type": "failed",
+                        "node": node_id,
+                        "shard": shard,
+                        "detail": detail,
+                    },
+                )
+                if reply["type"] != "noted":
+                    raise FabricProtocolError(
+                        f"expected noted, got {reply['type']!r}"
+                    ) from None
+                continue
+            if chaos is not None and chaos.claim_partition(shard):
+                # Partition injection: the shard is computed but the
+                # connection dies before the result crosses the wire.
+                try:
+                    sock.close()
+                finally:
+                    os._exit(EXIT_PARTITIONED)
+            reply, _ = _request(
+                sock,
+                send_lock,
+                {"type": "result", "node": node_id, "shard": shard},
+                pickle.dumps(value, protocol=4),
+            )
+            if reply["type"] != "committed":
+                raise FabricProtocolError(
+                    f"expected committed, got {reply['type']!r}"
+                )
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - racing close
+            pass

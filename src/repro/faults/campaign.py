@@ -487,6 +487,7 @@ def run_campaign(
     policy=None,
     report=None,
     checkpoint=None,
+    fabric=None,
 ) -> FaultCampaignReport:
     """Sweep ``trials`` seeded faults per style over one synthesis result.
 
@@ -507,7 +508,11 @@ def run_campaign(
     :class:`~repro.runtime.journal.CheckpointJournal`) persists each
     completed trial; an interrupted campaign resumed over the same
     journal replays the finished trials and produces JSON
-    byte-identical to an uninterrupted run.
+    byte-identical to an uninterrupted run.  ``fabric`` (a
+    :class:`~repro.fabric.FabricConfig`, requires ``checkpoint``)
+    leases the trials to distributed worker nodes instead of a local
+    pool — the report stays byte-identical, and node deaths mid-run
+    are survived by lease revocation and reassignment.
     """
     from ..perf.cache import design_fingerprint
     from ..runtime.journal import checkpointed_map
@@ -545,6 +550,7 @@ def run_campaign(
         workers=workers,
         policy=policy,
         report=report,
+        fabric=fabric,
     )
     return FaultCampaignReport(
         benchmark=name,

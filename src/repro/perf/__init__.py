@@ -26,7 +26,13 @@ from .cache import (
     design_fingerprint,
     simulate_cached,
 )
-from .engine import derive_seed, parallel_map, resolve_workers
+from .engine import (
+    derive_seed,
+    derive_seed_text,
+    deterministic_jitter,
+    parallel_map,
+    resolve_workers,
+)
 from .bench import BenchReport, run_bench
 
 __all__ = [
@@ -35,6 +41,8 @@ __all__ = [
     "SynthesisCache",
     "artifact_fingerprint",
     "derive_seed",
+    "derive_seed_text",
+    "deterministic_jitter",
     "design_fingerprint",
     "parallel_map",
     "resolve_workers",

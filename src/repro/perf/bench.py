@@ -86,6 +86,89 @@ class BenchReport:
         return "\n".join(lines)
 
 
+def _bench_row(
+    quick: bool,
+    trials: int,
+    workers: int,
+    seed: int,
+    p: float,
+    repeats: int,
+    cache_dir: "str | None",
+    name: str,
+) -> dict:
+    """Time the core flows on one benchmark (pool- and fabric-safe).
+
+    Module-level and fully determined by its arguments, so bench rows
+    can be journaled by :func:`~repro.runtime.journal.checkpointed_map`
+    and leased to fabric worker nodes like any other shard.
+    """
+    from ..analysis.latency import DistLatencyEvaluator, exact_expected_latency
+    from ..api import synthesize
+    from ..benchmarks.registry import benchmark
+    from ..perf.cache import SynthesisCache
+    from ..resources.completion import BernoulliCompletion
+    from ..sim.runner import monte_carlo_latency
+    from ..sim.simulator import simulate
+
+    cache = SynthesisCache(cache_dir) if cache_dir else None
+    entry = benchmark(name)
+    dfg = entry.dfg()
+    allocation = entry.allocation()
+    synth_s, result = _time_call(
+        lambda: synthesize(dfg, allocation, cache=cache), repeats
+    )
+    system = result.distributed_system()
+    model = BernoulliCompletion(p)
+    sim_s, sim = _time_call(
+        lambda: simulate(system, result.bound, model, seed=seed),
+        max(repeats, 3),
+    )
+    serial_s, serial_stats = _time_call(
+        lambda: monte_carlo_latency(
+            system, result.bound, p=p, trials=trials, seed=seed,
+            workers=1,
+        ),
+        repeats,
+    )
+    parallel_s, parallel_stats = _time_call(
+        lambda: monte_carlo_latency(
+            system, result.bound, p=p, trials=trials, seed=seed,
+            workers=workers,
+        ),
+        repeats,
+    )
+    if parallel_stats != serial_stats:  # pragma: no cover - invariant
+        raise AssertionError(
+            f"parallel Monte-Carlo diverged from serial on {name!r}"
+        )
+    row = {
+        "synthesize_s": _round(synth_s),
+        "simulate_s": _round(sim_s),
+        "simulated_cycles": sim.cycles,
+        "monte_carlo": {
+            "trials": trials,
+            "serial_s": _round(serial_s),
+            "parallel_s": _round(parallel_s),
+            "speedup": round(serial_s / max(parallel_s, 1e-9), 3),
+            "mean_cycles": round(serial_stats.mean, 6),
+            "p95_cycles": round(serial_stats.p95, 6),
+        },
+    }
+    tau_ops = result.bound.telescopic_ops()
+    if not (quick and len(tau_ops) > 12):
+        evaluator = DistLatencyEvaluator(result.bound)
+        exact_s, value = _time_call(
+            lambda: exact_expected_latency(evaluator, tau_ops, p),
+            repeats,
+        )
+        row["exact_expectation"] = {
+            "seconds": _round(exact_s),
+            "value": round(float(value), 6),
+            "assignments": 2 ** len(tau_ops),
+        }
+    return row
+
+
 def run_bench(
     benchmarks: Sequence[str] = CORE_BENCHMARKS,
     *,
@@ -97,6 +180,9 @@ def run_bench(
     repeats: int = 3,
     cache_dir: "str | None" = None,
     checkpoint_dir: "str | None" = None,
+    policy=None,
+    report=None,
+    fabric=None,
 ) -> BenchReport:
     """Time the core flows on ``benchmarks`` and build the report.
 
@@ -113,96 +199,42 @@ def run_bench(
     ``checkpoint_dir`` journals each finished benchmark row: an
     interrupted sweep resumed over the same directory replays completed
     rows (with their originally measured timings) and re-times only the
-    missing ones.
+    missing ones.  ``fabric`` (a :class:`~repro.fabric.FabricConfig`,
+    requires ``checkpoint_dir``) leases whole rows to distributed
+    worker nodes; timings are then measured on the node that computed
+    the row, and all *result* values stay deterministic.
     """
-    from ..analysis.latency import DistLatencyEvaluator, exact_expected_latency
-    from ..api import synthesize
-    from ..benchmarks.registry import benchmark
-    from ..perf.cache import SynthesisCache
-    from ..sim.runner import monte_carlo_latency
-    from ..sim.simulator import simulate
-    from ..resources.completion import BernoulliCompletion
+    from functools import partial
+
+    from ..runtime.journal import checkpointed_map
 
     if quick:
         trials = min(trials, 60)
         repeats = 1
     workers = resolve_workers(workers)
-    cache = SynthesisCache(cache_dir) if cache_dir else None
-    journal = None
-    bench_key = ""
-    if checkpoint_dir is not None:
-        from ..runtime.journal import CheckpointJournal
-
-        journal = CheckpointJournal(checkpoint_dir)
-        bench_key = (
-            f"bench|quick={quick}|trials={trials}|seed={seed}|p={p!r}"
-            f"|repeats={repeats}"
-        )
-    rows: dict[str, dict] = {}
-    for name in benchmarks:
-        if journal is not None:
-            found, row = journal.get(journal.key(bench_key, name))
-            if found:
-                rows[name] = row
-                continue
-        entry = benchmark(name)
-        dfg = entry.dfg()
-        allocation = entry.allocation()
-        synth_s, result = _time_call(
-            lambda: synthesize(dfg, allocation, cache=cache), repeats
-        )
-        system = result.distributed_system()
-        model = BernoulliCompletion(p)
-        sim_s, sim = _time_call(
-            lambda: simulate(system, result.bound, model, seed=seed),
-            max(repeats, 3),
-        )
-        serial_s, serial_stats = _time_call(
-            lambda: monte_carlo_latency(
-                system, result.bound, p=p, trials=trials, seed=seed,
-                workers=1,
-            ),
-            repeats,
-        )
-        parallel_s, parallel_stats = _time_call(
-            lambda: monte_carlo_latency(
-                system, result.bound, p=p, trials=trials, seed=seed,
-                workers=workers,
-            ),
-            repeats,
-        )
-        if parallel_stats != serial_stats:  # pragma: no cover - invariant
-            raise AssertionError(
-                f"parallel Monte-Carlo diverged from serial on {name!r}"
-            )
-        row = {
-            "synthesize_s": _round(synth_s),
-            "simulate_s": _round(sim_s),
-            "simulated_cycles": sim.cycles,
-            "monte_carlo": {
-                "trials": trials,
-                "serial_s": _round(serial_s),
-                "parallel_s": _round(parallel_s),
-                "speedup": round(serial_s / max(parallel_s, 1e-9), 3),
-                "mean_cycles": round(serial_stats.mean, 6),
-                "p95_cycles": round(serial_stats.p95, 6),
-            },
-        }
-        tau_ops = result.bound.telescopic_ops()
-        if not (quick and len(tau_ops) > 12):
-            evaluator = DistLatencyEvaluator(result.bound)
-            exact_s, value = _time_call(
-                lambda: exact_expected_latency(evaluator, tau_ops, p),
-                repeats,
-            )
-            row["exact_expectation"] = {
-                "seconds": _round(exact_s),
-                "value": round(float(value), 6),
-                "assignments": 2 ** len(tau_ops),
-            }
-        if journal is not None:
-            journal.put(journal.key(bench_key, name), row)
-        rows[name] = row
+    names = list(benchmarks)
+    run_key = (
+        f"bench|quick={quick}|trials={trials}|seed={seed}|p={p!r}"
+        f"|repeats={repeats}|benchmarks={','.join(names)}"
+        if checkpoint_dir is not None
+        else ""
+    )
+    # rows run serially here (each row parallelizes its own Monte-Carlo
+    # column with ``workers``); the fabric distributes whole rows
+    row_list = checkpointed_map(
+        partial(
+            _bench_row, quick, trials, workers, seed, p, repeats,
+            cache_dir,
+        ),
+        names,
+        run_key=run_key,
+        checkpoint=checkpoint_dir,
+        workers=1,
+        policy=policy,
+        report=report,
+        fabric=fabric,
+    )
+    rows = dict(zip(names, row_list))
     data = {
         "schema": 1,
         "quick": quick,

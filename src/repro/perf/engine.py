@@ -53,6 +53,19 @@ _R = TypeVar("_R")
 MAX_AUTO_WORKERS = 16
 
 
+def derive_seed_text(text: str) -> int:
+    """Stable 63-bit value from the SHA-256 of an arbitrary label.
+
+    The single source of deterministic pseudo-randomness in the
+    library: per-trial seeds, retry-backoff jitter and the campaign
+    fabric's heartbeat/lease jitter all reduce to this hash, so every
+    derived schedule is independent of ``PYTHONHASHSEED``, process
+    identity, platform and the wall clock.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
 def derive_seed(base_seed: int, trial: int) -> int:
     """Stable 63-bit per-trial seed from ``(base_seed, trial)``.
 
@@ -63,10 +76,21 @@ def derive_seed(base_seed: int, trial: int) -> int:
     ``base_seed + trial``, neighbouring trials share no arithmetic
     structure, so the underlying Mersenne streams are decorrelated.
     """
-    digest = hashlib.sha256(
-        f"{int(base_seed)}:{int(trial)}".encode("ascii")
-    ).digest()
-    return int.from_bytes(digest[:8], "big") >> 1
+    return derive_seed_text(f"{int(base_seed)}:{int(trial)}")
+
+
+def deterministic_jitter(tag: str, *parts: object) -> float:
+    """Jitter factor in ``[0.5, 1.5)`` from the :func:`derive_seed_text`
+    scheme.
+
+    ``tag`` names the consumer (``"backoff"``, ``"fabric-lease"``,
+    ``"fabric-heartbeat"``); ``parts`` identify the instance (item
+    index, attempt number, node id).  Two identical runs derive
+    identical jitters, so recovery schedules, lease deadlines and
+    heartbeat cadences replay deterministically in drills.
+    """
+    label = ":".join([tag, *[str(part) for part in parts]])
+    return 0.5 + derive_seed_text(label) / 2**63
 
 
 def resolve_workers(workers: "int | None") -> int:

@@ -95,6 +95,11 @@ class CheckpointJournal:
     Counters: ``new_shards`` (persisted this run), ``replayed``
     (served from disk this run), ``quarantined`` (corrupt shards moved
     aside this run).
+
+    ``report`` optionally pins the :class:`~repro.runtime.policy.
+    RunReport` that receives quarantine events; without it they land
+    in the ambient :func:`~repro.runtime.policy.active_report`, and
+    are silently dropped only when neither exists.
     """
 
     def __init__(
@@ -102,9 +107,11 @@ class CheckpointJournal:
         path: str,
         *,
         max_new_shards: "int | None" = None,
+        report: "RunReport | None" = None,
     ) -> None:
         self.path = str(path)
         self.max_new_shards = max_new_shards
+        self.report = report
         self.new_shards = 0
         self.replayed = 0
         self.quarantined = 0
@@ -134,9 +141,10 @@ class CheckpointJournal:
             pass
         self.quarantined += 1
         record_event(
-            None,
+            self.report,
             "journal-quarantine",
-            f"shard {key[:12]}… {reason}; it will be recomputed",
+            f"shard {key[:12]}… in {self.path} {reason}; it will be "
+            f"restored from a replica or recomputed",
         )
 
     def get(self, key: str) -> "tuple[bool, object]":
@@ -183,6 +191,28 @@ class CheckpointJournal:
         atomic_write_bytes(self.shard_file(key), digest + b"\n" + payload)
         self.new_shards += 1
 
+    def restore(self, key: str, blob: bytes) -> None:
+        """Repair one shard from its replica twin's verified bytes.
+
+        Bypasses ``max_new_shards`` and the ``new_shards`` counter:
+        a repair replays work that was already paid for, so it must
+        neither consume the deterministic-interruption budget nor look
+        like fresh progress.
+        """
+        atomic_write_bytes(self.shard_file(key), blob)
+
+    def corrupt_files(self) -> list[str]:
+        """Quarantined (``*.corrupt``) shard files in this journal."""
+        try:
+            entries = os.listdir(self.path)
+        except OSError:
+            return []
+        return sorted(
+            os.path.join(self.path, name)
+            for name in entries
+            if name.endswith(".corrupt")
+        )
+
 
 def resolve_journal(
     checkpoint: "CheckpointJournal | str | None",
@@ -203,6 +233,7 @@ def checkpointed_map(
     chunksize: "int | None" = None,
     policy: "RunPolicy | None" = None,
     report: "RunReport | None" = None,
+    fabric=None,
 ) -> list:
     """:func:`~repro.perf.engine.parallel_map` through a journal.
 
@@ -212,10 +243,32 @@ def checkpointed_map(
     order under parallelism, which is safe because the shard id is the
     item's position.  With ``checkpoint=None`` this is exactly
     ``parallel_map``.
+
+    ``fabric`` (a :class:`~repro.fabric.FabricConfig`) reroutes the
+    missing-shard computation through the distributed campaign fabric:
+    worker *nodes* lease shards from a coordinator over TCP and every
+    result is committed to a replicated journal before it is
+    acknowledged — same keys, same bytes, so serial, parallel and
+    fabric runs all resume each other's checkpoint directories.
+    Requires ``checkpoint``.
     """
     from ..perf.engine import parallel_map
 
     journal = resolve_journal(checkpoint)
+    if journal is not None and journal.report is None:
+        journal.report = report
+    if fabric is not None:
+        from ..fabric.runtime import fabric_map
+
+        return fabric_map(
+            fn,
+            items,
+            run_key=run_key,
+            checkpoint=journal,
+            config=fabric,
+            policy=policy,
+            report=report,
+        )
     work: Sequence[_T] = list(items)
     if journal is None:
         return parallel_map(

@@ -17,7 +17,6 @@ account for their quarantines.
 
 from __future__ import annotations
 
-import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from collections.abc import Iterator
@@ -44,6 +43,10 @@ EVENT_KINDS = (
     "serial-fallback",  # an unpicklable payload lost its -j speedup
     "cache-quarantine",  # a corrupt cache entry was moved aside
     "journal-quarantine",  # a corrupt checkpoint shard was moved aside
+    "journal-repair",  # a shard was restored from its replica twin
+    "lease-revoke",  # a fabric shard lease expired and was reassigned
+    "node-loss",  # a fabric worker node died or went silent
+    "node-restart",  # a replacement fabric worker node was spawned
 )
 
 
@@ -109,16 +112,17 @@ class RunPolicy:
         """Backoff before re-attempting ``item`` (deterministic jitter).
 
         Exponential in the attempt number, scaled by a jitter in
-        ``[0.5, 1.5)`` derived from a stable hash of ``(item,
-        attempt)`` — independent of process identity and the wall
-        clock, so recovery schedules are reproducible.
+        ``[0.5, 1.5)`` from the shared SHA-256
+        :func:`~repro.perf.engine.deterministic_jitter` scheme —
+        independent of process identity and the wall clock, so two
+        identical runs (and the fabric's lease/heartbeat timers, which
+        use the same scheme) recover along identical schedules.
         """
         if self.backoff_s == 0:
             return 0.0
-        digest = hashlib.sha256(
-            f"backoff:{int(item)}:{int(attempt)}".encode("ascii")
-        ).digest()
-        jitter = 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+        from ..perf.engine import deterministic_jitter
+
+        jitter = deterministic_jitter("backoff", int(item), int(attempt))
         return self.backoff_s * (2 ** max(attempt - 1, 0)) * jitter
 
     def chunk_deadline_s(self, chunk_items: int) -> "float | None":

@@ -117,6 +117,7 @@ def monte_carlo_latency(
     policy: "RunPolicy | None" = None,
     report: "RunReport | None" = None,
     checkpoint: "CheckpointJournal | str | None" = None,
+    fabric=None,
 ) -> LatencyStatistics:
     """Simulate ``trials`` runs under Bernoulli(p) completion.
 
@@ -130,7 +131,10 @@ def monte_carlo_latency(
     ``policy``/``report`` supervise the pool (crash recovery, retries,
     timeouts — see :mod:`repro.runtime`); ``checkpoint`` journals each
     completed trial so an interrupted sweep resumes with statistics
-    byte-identical to an uninterrupted run.
+    byte-identical to an uninterrupted run.  ``fabric`` (a
+    :class:`~repro.fabric.FabricConfig`, requires ``checkpoint``)
+    distributes the missing trials over fabric worker nodes instead of
+    a local pool — same shard keys, same bytes.
     """
     from ..perf.engine import derive_seed
 
@@ -166,6 +170,7 @@ def monte_carlo_latency(
         workers=workers,
         policy=policy,
         report=report,
+        fabric=fabric,
     )
     return LatencyStatistics.from_samples(samples)
 

@@ -1,0 +1,190 @@
+"""CLI surface tests for the campaign fabric subcommands and flags."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import main
+from repro.fabric import STATUS_FILE, default_backup_path
+from repro.runtime.journal import CheckpointJournal
+
+
+class TestFabricFlagValidation:
+    def test_fabric_requires_checkpoint_dir(self, capsys):
+        rc = main(["table2", "--fabric"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "--fabric requires --checkpoint-dir" in captured.err
+
+    def test_faults_fabric_requires_checkpoint_dir(self, capsys):
+        rc = main(["faults", "fir3", "--fabric", "--trials", "2"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "--fabric requires --checkpoint-dir" in captured.err
+
+
+class TestFabricWorker:
+    def test_needs_join_or_connect(self, capsys):
+        rc = main(["fabric", "worker"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--join DIR or both --connect" in captured.err
+
+    def test_connect_without_token(self, capsys):
+        rc = main(["fabric", "worker", "--connect", "127.0.0.1:9"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--token" in captured.err
+
+    def test_malformed_connect_address(self, capsys):
+        rc = main(
+            ["fabric", "worker", "--connect", "noport", "--token", "t"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "HOST:PORT" in captured.err
+
+    def test_join_without_coordinator(self, tmp_path, capsys):
+        rc = main(["fabric", "worker", "--join", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "no joinable fabric coordinator" in captured.err
+
+    def test_join_with_stale_status_file(self, tmp_path, capsys):
+        # a coordinator address nobody is listening on: the worker
+        # reports the connection failure instead of hanging
+        (tmp_path / STATUS_FILE).write_text(
+            json.dumps(
+                {
+                    "address": {"host": "127.0.0.1", "port": 9},
+                    "token": "stale",
+                }
+            )
+        )
+        rc = main(["fabric", "worker", "--join", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error: fabric worker" in captured.err
+
+
+class TestFabricStatus:
+    def test_missing_directory(self, tmp_path, capsys):
+        rc = main(["fabric", "status", str(tmp_path / "nowhere")])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "coordinator: none active" in captured.out
+        assert "(missing)" in captured.out
+
+    def test_populated_journal_counts(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        journal = CheckpointJournal(str(ckpt))
+        for shard in range(3):
+            journal.put(journal.key("status-test", shard), shard)
+        # one quarantined file and an empty backup directory
+        (ckpt / "deadbeef.shard.pkl.corrupt").write_bytes(b"torn")
+        os.makedirs(default_backup_path(str(ckpt)), exist_ok=True)
+        rc = main(["fabric", "status", str(ckpt)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "coordinator: none active" in captured.out
+        assert "3 shard(s), 1 quarantined" in captured.out
+        assert "backup:" in captured.out
+
+    def test_active_coordinator_announced(self, tmp_path, capsys):
+        (tmp_path / STATUS_FILE).write_text(
+            json.dumps(
+                {
+                    "address": {"host": "127.0.0.1", "port": 4242},
+                    "token": "secret",
+                    "pid": 1234,
+                    "nodes": 2,
+                    "run_key": "k",
+                    "shards_total": 8,
+                    "shards_missing": 5,
+                }
+            )
+        )
+        rc = main(["fabric", "status", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "coordinator: 127.0.0.1:4242" in captured.out
+        assert "5/8 shard(s) outstanding" in captured.out
+        assert "repro fabric worker --join" in captured.out
+        # the session token is never printed
+        assert "secret" not in captured.out
+
+
+class TestResumeQuarantineNote:
+    def test_resume_warns_about_quarantined_shards(
+        self, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "manifest.json").write_text(
+            json.dumps({"argv": ["benchmarks"]})
+        )
+        (ckpt / "feedface.shard.pkl.corrupt").write_bytes(b"torn")
+        backup = default_backup_path(str(ckpt))
+        os.makedirs(backup, exist_ok=True)
+        with open(
+            os.path.join(backup, "feedface.shard.pkl.corrupt"), "wb"
+        ) as handle:
+            handle.write(b"torn")
+        rc = main(["resume", str(ckpt)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "resuming: repro benchmarks" in captured.err
+        notes = [
+            line
+            for line in captured.err.splitlines()
+            if "quarantined shard file(s)" in line
+        ]
+        assert len(notes) == 2  # one per journal copy
+        assert "restored from a replica or recomputed" in notes[0]
+
+    def test_resume_silent_without_quarantine(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "manifest.json").write_text(
+            json.dumps({"argv": ["benchmarks"]})
+        )
+        rc = main(["resume", str(ckpt)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "quarantined" not in captured.err
+
+
+class TestFabricEndToEnd:
+    def test_faults_fabric_json_matches_serial(self, tmp_path, capsys):
+        base = [
+            "faults",
+            "fir3",
+            "--trials",
+            "6",
+            "--style",
+            "dist",
+        ]
+        serial_json = tmp_path / "serial.json"
+        rc = main(base + ["--json", str(serial_json)])
+        assert rc == 0
+        capsys.readouterr()
+
+        fabric_json = tmp_path / "fabric.json"
+        rc = main(
+            base
+            + [
+                "--json",
+                str(fabric_json),
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+                "--fabric",
+                "--nodes",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert serial_json.read_bytes() == fabric_json.read_bytes()
+        # the rendered coverage tables match too
+        assert captured.out

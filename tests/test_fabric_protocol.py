@@ -1,0 +1,161 @@
+"""Tests for the fabric wire protocol (:mod:`repro.fabric.protocol`)."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.errors import FabricProtocolError
+from repro.fabric.protocol import (
+    MAGIC,
+    MAX_BLOB_BYTES,
+    PROTOCOL_VERSION,
+    recv_message,
+    send_message,
+)
+
+
+def _frame(
+    header: dict,
+    blob: bytes = b"",
+    *,
+    magic: bytes = MAGIC,
+    checksum: bool = True,
+) -> bytes:
+    """Hand-build one raw frame (for malformed-input tests)."""
+    head = dict(header)
+    if blob and checksum:
+        head.setdefault(
+            "blob_sha256", hashlib.sha256(blob).hexdigest()
+        )
+    encoded = json.dumps(head).encode("utf-8")
+    return (
+        magic
+        + struct.pack(">II", len(encoded), len(blob))
+        + encoded
+        + blob
+    )
+
+
+def _deliver(raw: bytes) -> "tuple[dict, bytes] | None":
+    a, b = socket.socketpair()
+    try:
+        a.sendall(raw)
+        a.close()
+        return recv_message(b)
+    finally:
+        b.close()
+
+
+class TestRoundtrip:
+    def test_header_only(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"type": "heartbeat", "node": 3})
+            header, blob = recv_message(b)
+        finally:
+            a.close()
+            b.close()
+        assert header["type"] == "heartbeat"
+        assert header["node"] == 3
+        assert header["v"] == PROTOCOL_VERSION
+        assert blob == b""
+
+    def test_blob_checksummed(self):
+        payload = b"\x00\x01binary payload\xff" * 100
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"type": "result", "shard": 7}, payload)
+            header, blob = recv_message(b)
+        finally:
+            a.close()
+            b.close()
+        assert blob == payload
+        assert (
+            header["blob_sha256"]
+            == hashlib.sha256(payload).hexdigest()
+        )
+
+    def test_multiple_frames_in_sequence(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"type": "need-work", "node": 0})
+            send_message(a, {"type": "bye", "node": 0}, b"tail")
+            first = recv_message(b)
+            second = recv_message(b)
+            a.close()
+            third = recv_message(b)
+        finally:
+            b.close()
+        assert first[0]["type"] == "need-work"
+        assert second[0]["type"] == "bye" and second[1] == b"tail"
+        assert third is None  # clean EOF at a frame boundary
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_message(b) is None
+        finally:
+            b.close()
+
+
+class TestRejection:
+    def test_foreign_magic(self):
+        raw = _frame({"type": "hello", "v": PROTOCOL_VERSION},
+                     magic=b"HTTP")
+        with pytest.raises(FabricProtocolError, match="magic"):
+            _deliver(raw)
+
+    def test_version_mismatch(self):
+        raw = _frame({"type": "hello", "v": PROTOCOL_VERSION + 1})
+        with pytest.raises(FabricProtocolError, match="version"):
+            _deliver(raw)
+
+    def test_missing_type_field(self):
+        raw = _frame({"v": PROTOCOL_VERSION, "shard": 1})
+        with pytest.raises(FabricProtocolError, match="typed"):
+            _deliver(raw)
+
+    def test_header_not_an_object(self):
+        encoded = json.dumps(["not", "a", "dict"]).encode()
+        raw = MAGIC + struct.pack(">II", len(encoded), 0) + encoded
+        with pytest.raises(FabricProtocolError, match="typed"):
+            _deliver(raw)
+
+    def test_unparseable_header(self):
+        bad = b"{nope"
+        raw = MAGIC + struct.pack(">II", len(bad), 0) + bad
+        with pytest.raises(FabricProtocolError, match="unparseable"):
+            _deliver(raw)
+
+    def test_oversized_blob_rejected_before_allocation(self):
+        encoded = json.dumps(
+            {"type": "result", "v": PROTOCOL_VERSION}
+        ).encode()
+        raw = MAGIC + struct.pack(
+            ">II", len(encoded), MAX_BLOB_BYTES + 1
+        )
+        with pytest.raises(FabricProtocolError, match="oversized"):
+            _deliver(raw + encoded)
+
+    def test_blob_checksum_mismatch(self):
+        blob = b"shard result bytes"
+        head = {
+            "type": "result",
+            "v": PROTOCOL_VERSION,
+            "blob_sha256": hashlib.sha256(b"different").hexdigest(),
+        }
+        raw = _frame(head, blob, checksum=False)
+        with pytest.raises(FabricProtocolError, match="checksum"):
+            _deliver(raw)
+
+    def test_eof_mid_frame_raises(self):
+        raw = _frame({"type": "hello", "v": PROTOCOL_VERSION},
+                     b"payload")
+        with pytest.raises(FabricProtocolError, match="mid-frame"):
+            _deliver(raw[:-3])

@@ -1,0 +1,246 @@
+"""Tests for primary/backup journal replication and torn shards.
+
+Covers :mod:`repro.fabric.replica` plus the satellite requirement that
+shard files torn *mid-campaign* (truncated or bit-flipped after
+commit) are quarantined to ``*.corrupt``, recomputed or repaired, and
+the final output stays byte-identical — parametrized over the primary
+and the backup journal copies.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, CheckpointInterrupted
+from repro.fabric.replica import (
+    BACKUP_SUFFIX,
+    ReplicatedJournal,
+    default_backup_path,
+)
+from repro.runtime.journal import (
+    CheckpointJournal,
+    checkpointed_map,
+)
+from repro.runtime.policy import RunReport
+
+RUN_KEY = "replica-test|v1"
+
+
+def _replicated(tmp_path, report=None) -> ReplicatedJournal:
+    return ReplicatedJournal(
+        CheckpointJournal(str(tmp_path / "primary")),
+        CheckpointJournal(str(tmp_path / "backup")),
+        report=report,
+    )
+
+
+def _shard_bytes(journal: CheckpointJournal, key: str) -> bytes:
+    with open(journal.shard_file(key), "rb") as handle:
+        return handle.read()
+
+
+def _truncate(path: str) -> None:
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(size // 2, 1))
+
+
+def _bit_flip(path: str) -> None:
+    with open(path, "r+b") as handle:
+        blob = bytearray(handle.read())
+        blob[-1] ^= 0xFF
+        handle.seek(0)
+        handle.write(blob)
+
+
+CORRUPTIONS = {"truncate": _truncate, "bit-flip": _bit_flip}
+
+
+class TestReplicatedJournal:
+    def test_put_commits_byte_identical_copies(self, tmp_path):
+        journal = _replicated(tmp_path)
+        key = journal.key(RUN_KEY, 0)
+        journal.put(key, {"row": [1, 2, 3]})
+        assert _shard_bytes(journal.primary, key) == _shard_bytes(
+            journal.backup, key
+        )
+        assert journal.get(key) == (True, {"row": [1, 2, 3]})
+        assert journal.repaired == 0
+
+    def test_same_directory_twice_rejected(self, tmp_path):
+        path = str(tmp_path / "journal")
+        with pytest.raises(CheckpointError, match="distinct"):
+            ReplicatedJournal(
+                CheckpointJournal(path), CheckpointJournal(path)
+            )
+
+    def test_default_backup_path(self):
+        assert default_backup_path("/runs/ckpt") == (
+            "/runs/ckpt" + BACKUP_SUFFIX
+        )
+        assert default_backup_path("/runs/ckpt/") == (
+            "/runs/ckpt" + BACKUP_SUFFIX
+        )
+
+    def test_adopts_plain_serial_checkpoint(self, tmp_path):
+        # a pre-fabric single-directory checkpoint: backup starts
+        # empty and is populated by repair on first read
+        primary = CheckpointJournal(str(tmp_path / "primary"))
+        key = primary.key(RUN_KEY, 0)
+        primary.put(key, 41)
+        report = RunReport()
+        journal = ReplicatedJournal(
+            primary,
+            CheckpointJournal(str(tmp_path / "backup")),
+            report=report,
+        )
+        assert journal.get(key) == (True, 41)
+        assert journal.repaired == 1
+        assert report.count("journal-repair") == 1
+        assert _shard_bytes(journal.backup, key) == _shard_bytes(
+            primary, key
+        )
+
+    @pytest.mark.parametrize("copy", ["primary", "backup"])
+    @pytest.mark.parametrize("tear", sorted(CORRUPTIONS))
+    def test_torn_copy_quarantined_and_repaired(
+        self, tmp_path, copy, tear
+    ):
+        report = RunReport()
+        journal = _replicated(tmp_path, report=report)
+        key = journal.key(RUN_KEY, 3)
+        journal.put(key, ("value", 3))
+        torn = getattr(journal, copy)
+        twin = journal.backup if copy == "primary" else journal.primary
+        good_bytes = _shard_bytes(twin, key)
+        CORRUPTIONS[tear](torn.shard_file(key))
+
+        assert journal.get(key) == (True, ("value", 3))
+        # the torn file was quarantined aside, then the slot repaired
+        assert torn.quarantined == 1
+        assert os.path.exists(torn.shard_file(key) + ".corrupt")
+        assert torn.corrupt_files() == [
+            torn.shard_file(key) + ".corrupt"
+        ]
+        assert _shard_bytes(torn, key) == good_bytes
+        assert report.count("journal-quarantine") == 1
+        assert report.count("journal-repair") == 1
+        # the repaired copy now verifies on its own
+        assert torn.get(key) == (True, ("value", 3))
+
+    @pytest.mark.parametrize("tear", sorted(CORRUPTIONS))
+    def test_both_copies_torn_reports_missing(self, tmp_path, tear):
+        report = RunReport()
+        journal = _replicated(tmp_path, report=report)
+        key = journal.key(RUN_KEY, 0)
+        journal.put(key, 99)
+        CORRUPTIONS[tear](journal.primary.shard_file(key))
+        CORRUPTIONS[tear](journal.backup.shard_file(key))
+        assert journal.get(key) == (False, None)
+        assert journal.primary.quarantined == 1
+        assert journal.backup.quarantined == 1
+        assert report.count("journal-quarantine") == 2
+        assert report.count("journal-repair") == 0
+
+    def test_unpicklable_shard_quarantined(self, tmp_path):
+        import hashlib
+
+        journal = _replicated(tmp_path)
+        key = journal.key(RUN_KEY, 0)
+        journal.put(key, 7)
+        # valid checksum over garbage that cannot unpickle
+        payload = b"not a pickle"
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        with open(journal.primary.shard_file(key), "wb") as handle:
+            handle.write(digest + b"\n" + payload)
+        assert journal.get(key) == (True, 7)
+        assert journal.primary.quarantined == 1
+        assert journal.repaired == 1
+
+    def test_counters_shape(self, tmp_path):
+        journal = _replicated(tmp_path)
+        key = journal.key(RUN_KEY, 0)
+        journal.put(key, 1)
+        journal.get(key)
+        counters = journal.counters()
+        assert counters["primary"]["new_shards"] == 1
+        assert counters["primary"]["replayed"] == 1
+        assert counters["backup"]["new_shards"] == 1
+        assert counters["repaired"] == 0
+        assert counters["primary"]["path"] == journal.primary.path
+
+
+class TestTornShardMidCampaign:
+    """Interrupt a campaign, tear a committed shard, resume."""
+
+    @pytest.mark.parametrize("tear", sorted(CORRUPTIONS))
+    def test_resume_recomputes_torn_shard(self, tmp_path, tear):
+        path = str(tmp_path / "ckpt")
+        items = list(range(6))
+        baseline = [item * item for item in items]
+
+        with pytest.raises(CheckpointInterrupted):
+            checkpointed_map(
+                lambda item: item * item,
+                items,
+                run_key=RUN_KEY,
+                checkpoint=CheckpointJournal(path, max_new_shards=3),
+            )
+        shards = sorted(
+            name
+            for name in os.listdir(path)
+            if name.endswith(".shard.pkl")
+        )
+        assert len(shards) == 3
+        CORRUPTIONS[tear](os.path.join(path, shards[0]))
+
+        report = RunReport()
+        resumed = checkpointed_map(
+            lambda item: item * item,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=path,
+            report=report,
+        )
+        assert resumed == baseline
+        assert report.count("journal-quarantine") == 1
+        assert os.path.exists(
+            os.path.join(path, shards[0] + ".corrupt")
+        )
+        # the recomputed shard re-verifies: a third pass is pure replay
+        replay_journal = CheckpointJournal(path)
+        assert (
+            checkpointed_map(
+                lambda item: item * item,
+                items,
+                run_key=RUN_KEY,
+                checkpoint=replay_journal,
+            )
+            == baseline
+        )
+        assert replay_journal.replayed == len(items)
+        assert replay_journal.new_shards == 0
+
+    def test_recomputed_shard_bytes_match_original(self, tmp_path):
+        # content-addressed + deterministic pickle: the recomputed
+        # shard file is byte-identical to the one that was torn
+        journal = CheckpointJournal(str(tmp_path / "ckpt"))
+        key = journal.key(RUN_KEY, 0)
+        journal.put(key, {"stats": (1.5, 2.5)})
+        original = _shard_bytes(journal, key)
+        _bit_flip(journal.shard_file(key))
+        assert journal.get(key) == (False, None)
+        journal.put(key, {"stats": (1.5, 2.5)})
+        assert _shard_bytes(journal, key) == original
+
+    def test_shard_payload_is_checksummed_pickle(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "ckpt"))
+        key = journal.key(RUN_KEY, 0)
+        journal.put(key, [1, 2])
+        blob = _shard_bytes(journal, key)
+        digest, payload = blob.split(b"\n", 1)
+        assert len(digest) == 64
+        assert pickle.loads(payload) == [1, 2]

@@ -1,0 +1,321 @@
+"""End-to-end tests for the distributed campaign fabric runtime.
+
+These spawn real worker-node subprocesses (``python -m repro fabric
+worker``) against an in-process coordinator, so they exercise the wire
+protocol, lease failover and the replicated write-ahead journal the
+same way a production campaign does.  Work functions must be picklable
+*and importable from the worker's PYTHONPATH*: module-level helpers in
+this file work because the failover tests extend PYTHONPATH with the
+tests directory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.errors import (
+    CheckpointError,
+    CheckpointInterrupted,
+    SerialFallbackWarning,
+    SimulationError,
+)
+from repro.fabric import (
+    STATUS_FILE,
+    FabricConfig,
+    default_backup_path,
+    fabric_map,
+)
+from repro.perf.engine import derive_seed
+from repro.runtime.chaos import ChaosConfig
+from repro.runtime.journal import CheckpointJournal, checkpointed_map
+from repro.runtime.policy import RunPolicy, RunReport
+
+RUN_KEY = "fabric-runtime-test|v1"
+
+#: tight failure detection so the failover tests stay fast
+FAST = {"heartbeat_s": 0.1, "lease_timeout_s": 20.0}
+
+
+def _config(**overrides) -> FabricConfig:
+    return FabricConfig(**{**FAST, **overrides})
+
+
+def _shards_on_disk(path: str) -> int:
+    return sum(
+        name.endswith(".shard.pkl") for name in os.listdir(path)
+    )
+
+
+def _sleepy_seed(item: int) -> int:
+    """Slow enough that leases outlive chaos-detection windows."""
+    time.sleep(0.4)
+    return derive_seed(7, item)
+
+
+def _very_sleepy_seed(item: int) -> int:
+    """Outlasts the heartbeat-miss window of a slowed node."""
+    time.sleep(0.8)
+    return derive_seed(7, item)
+
+
+@pytest.fixture
+def workers_can_import_tests(monkeypatch):
+    """Let worker subprocesses unpickle this module's helpers."""
+    monkeypatch.setenv(
+        "PYTHONPATH", os.path.dirname(os.path.abspath(__file__))
+    )
+
+
+class TestFabricConfig:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(SimulationError, match="at least one"):
+            FabricConfig(nodes=0)
+
+    def test_rejects_nonpositive_timing(self):
+        with pytest.raises(SimulationError, match="positive"):
+            FabricConfig(heartbeat_s=0.0)
+        with pytest.raises(SimulationError, match="positive"):
+            FabricConfig(lease_timeout_s=-1.0)
+
+    def test_rejects_negative_restart_budget(self):
+        with pytest.raises(SimulationError, match="max_node_restarts"):
+            FabricConfig(max_node_restarts=-1)
+
+    def test_restart_budget_defaults_to_twice_nodes(self):
+        assert FabricConfig(nodes=3).restart_budget() == 6
+        assert (
+            FabricConfig(nodes=3, max_node_restarts=0).restart_budget()
+            == 0
+        )
+
+
+class TestFabricMap:
+    def test_requires_checkpoint_directory(self):
+        with pytest.raises(CheckpointError, match="write-ahead"):
+            fabric_map(
+                partial(derive_seed, 7),
+                range(4),
+                run_key=RUN_KEY,
+                checkpoint=None,
+            )
+
+    def test_matches_serial_and_replicates(self, tmp_path):
+        items = list(range(8))
+        fn = partial(derive_seed, 7)
+        expected = [fn(item) for item in items]
+        ckpt = str(tmp_path / "ckpt")
+        report = RunReport()
+        got = fabric_map(
+            fn,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=ckpt,
+            config=_config(),
+            report=report,
+        )
+        assert got == expected
+        # write-ahead commits landed in both journal copies
+        assert _shards_on_disk(ckpt) == len(items)
+        assert _shards_on_disk(default_backup_path(ckpt)) == len(items)
+        # the coordinator-address file is removed on completion
+        assert not os.path.exists(os.path.join(ckpt, STATUS_FILE))
+        # a clean run records no recoveries
+        assert report.counts() == {}
+
+    def test_replays_a_previous_serial_run(self, tmp_path):
+        items = list(range(8))
+        fn = partial(derive_seed, 7)
+        ckpt = str(tmp_path / "ckpt")
+        serial = checkpointed_map(
+            fn, items, run_key=RUN_KEY, checkpoint=ckpt
+        )
+        report = RunReport()
+        got = fabric_map(
+            fn,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=ckpt,
+            config=_config(),
+            report=report,
+        )
+        assert got == serial
+        # pure replay: every shard repaired into the empty backup,
+        # no worker nodes were ever needed
+        assert report.count("journal-repair") == len(items)
+        assert _shards_on_disk(default_backup_path(ckpt)) == len(items)
+
+    def test_unpicklable_fn_degrades_to_in_process(self, tmp_path):
+        items = list(range(5))
+        offset = 3
+        ckpt = str(tmp_path / "ckpt")
+        report = RunReport()
+        with pytest.warns(SerialFallbackWarning):
+            got = fabric_map(
+                lambda item: item + offset,  # closures cannot cross the wire
+                items,
+                run_key=RUN_KEY,
+                checkpoint=ckpt,
+                config=_config(),
+                report=report,
+            )
+        assert got == [item + offset for item in items]
+        assert report.count("serial-fallback") == 1
+        assert _shards_on_disk(ckpt) == len(items)
+        assert _shards_on_disk(default_backup_path(ckpt)) == len(items)
+
+    def test_checkpointed_map_routes_through_fabric(self, tmp_path):
+        items = list(range(6))
+        fn = partial(derive_seed, 11)
+        ckpt = str(tmp_path / "ckpt")
+        got = checkpointed_map(
+            fn,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=ckpt,
+            fabric=_config(),
+        )
+        assert got == [fn(item) for item in items]
+        assert os.path.isdir(default_backup_path(ckpt))
+
+    def test_explicit_backup_dir_honoured(self, tmp_path):
+        items = list(range(4))
+        fn = partial(derive_seed, 7)
+        ckpt = str(tmp_path / "ckpt")
+        backup = str(tmp_path / "elsewhere")
+        fabric_map(
+            fn,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=ckpt,
+            config=_config(backup_dir=backup),
+        )
+        assert _shards_on_disk(backup) == len(items)
+        assert not os.path.exists(default_backup_path(ckpt))
+
+
+class TestFailover:
+    def test_worker_sigkill_revokes_and_respawns(
+        self, tmp_path, workers_can_import_tests
+    ):
+        items = list(range(6))
+        expected = [derive_seed(7, item) for item in items]
+        chaos = ChaosConfig(
+            node_kill_items=(1,),
+            sentinel_dir=str(tmp_path / "sentinels"),
+        )
+        os.makedirs(chaos.sentinel_dir, exist_ok=True)
+        report = RunReport()
+        got = fabric_map(
+            _sleepy_seed,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=str(tmp_path / "ckpt"),
+            config=_config(),
+            policy=RunPolicy(chaos=chaos),
+            report=report,
+        )
+        assert got == expected
+        assert report.count("node-loss") >= 1
+        assert report.count("lease-revoke") >= 1
+        assert report.count("node-restart") >= 1
+
+    def test_partition_after_compute_is_recomputed(
+        self, tmp_path, workers_can_import_tests
+    ):
+        items = list(range(6))
+        expected = [derive_seed(7, item) for item in items]
+        chaos = ChaosConfig(
+            partition_items=(2,),
+            sentinel_dir=str(tmp_path / "sentinels"),
+        )
+        os.makedirs(chaos.sentinel_dir, exist_ok=True)
+        report = RunReport()
+        got = fabric_map(
+            _sleepy_seed,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=str(tmp_path / "ckpt"),
+            config=_config(),
+            policy=RunPolicy(chaos=chaos),
+            report=report,
+        )
+        # the partitioned shard was computed but never reported; it
+        # must be recomputed elsewhere with an identical result
+        assert got == expected
+        assert report.count("node-loss") >= 1
+        assert report.count("lease-revoke") >= 1
+
+    def test_slow_heartbeat_node_declared_lost_late_commit_ok(
+        self, tmp_path, workers_can_import_tests
+    ):
+        items = list(range(6))
+        expected = [derive_seed(7, item) for item in items]
+        chaos = ChaosConfig(
+            slow_heartbeat_nodes=(0,),
+            heartbeat_slowdown=50.0,
+            sentinel_dir=str(tmp_path / "sentinels"),
+        )
+        os.makedirs(chaos.sentinel_dir, exist_ok=True)
+        report = RunReport()
+        got = fabric_map(
+            _very_sleepy_seed,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=str(tmp_path / "ckpt"),
+            config=_config(),
+            policy=RunPolicy(chaos=chaos),
+            report=report,
+        )
+        # node 0 is alive but silent: the coordinator revokes its
+        # leases, reassigns them, and tolerates its late duplicate
+        # commits idempotently — the run still completes correctly
+        assert got == expected
+        assert report.count("node-loss") >= 1
+        assert report.count("lease-revoke") >= 1
+
+    def test_coordinator_restart_resumes_byte_identically(
+        self, tmp_path
+    ):
+        items = list(range(6))
+        fn = partial(derive_seed, 7)
+        expected = [fn(item) for item in items]
+        ckpt = str(tmp_path / "ckpt")
+        with pytest.raises(CheckpointInterrupted):
+            fabric_map(
+                fn,
+                items,
+                run_key=RUN_KEY,
+                checkpoint=CheckpointJournal(ckpt, max_new_shards=2),
+                config=_config(),
+            )
+        # the interrupt left a valid partial journal and no stale
+        # coordinator-address file
+        assert _shards_on_disk(ckpt) == 2
+        assert not os.path.exists(os.path.join(ckpt, STATUS_FILE))
+        resumed = fabric_map(
+            fn,
+            items,
+            run_key=RUN_KEY,
+            checkpoint=ckpt,
+            config=_config(),
+        )
+        assert resumed == expected
+
+
+class TestDriversOnFabric:
+    def test_run_table2_fabric_matches_serial(self, tmp_path):
+        from repro.benchmarks.registry import table2_benchmarks
+        from repro.experiments.table2 import run_table2
+
+        entries = list(table2_benchmarks())[:2]
+        serial = run_table2(entries=entries).render()
+        fabric = run_table2(
+            entries=entries,
+            checkpoint=str(tmp_path / "ckpt"),
+            fabric=_config(),
+        ).render()
+        assert fabric == serial
