@@ -12,12 +12,21 @@ from .distribution import (
     compare_distributions,
     exact_latency_distribution,
 )
+from .exact_engine import (
+    ExactLatencyAnalysis,
+    analyze_dist_categorical,
+    analyze_dist_latency,
+    analyze_sync_categorical,
+    analyze_sync_latency,
+    graph_latency_pmf,
+)
 from .latency import (
     DistLatencyEvaluator,
     DurationTable,
     EXACT_ENUMERATION_LIMIT,
     LatencyComparison,
     SchemeLatency,
+    SyncLatencyEvaluator,
     compare_latencies,
     dist_latency_cycles,
     duration_table,
@@ -43,11 +52,18 @@ __all__ = [
     "DistributionComparison",
     "DurationTable",
     "EXACT_ENUMERATION_LIMIT",
+    "ExactLatencyAnalysis",
     "LatencyComparison",
     "LatencyDistribution",
     "SchemeLatency",
+    "SyncLatencyEvaluator",
     "ThroughputBound",
     "activity_report",
+    "analyze_dist_categorical",
+    "analyze_dist_latency",
+    "analyze_sync_categorical",
+    "analyze_sync_latency",
+    "graph_latency_pmf",
     "compare_activity",
     "UnitUtilization",
     "UtilizationReport",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from collections.abc import Mapping, Sequence
+from collections.abc import Sequence
 
 from ..errors import SimulationError
 from .latency import (
@@ -48,20 +48,36 @@ class LatencyDistribution:
         return math.sqrt(self.variance())
 
     # -- order statistics -----------------------------------------------------
+    def cdf(self) -> tuple[tuple[int, float], ...]:
+        """Running ``(cycles, P(latency <= cycles))`` pairs, ascending.
+
+        The single accumulation both order statistics are defined on —
+        ``quantile`` and ``probability_at_most`` read the same curve.
+        """
+        acc = 0.0
+        pairs = []
+        for cycles, p in self.pmf:
+            acc += p
+            pairs.append((cycles, acc))
+        return tuple(pairs)
+
     def quantile(self, q: float) -> int:
         """Smallest cycle count whose CDF reaches ``q``."""
         if not 0.0 < q <= 1.0:
             raise SimulationError(f"quantile must be in (0, 1], got {q}")
-        acc = 0.0
-        for cycles, p in self.pmf:
-            acc += p
+        for cycles, acc in self.cdf():
             if acc >= q - 1e-12:
                 return cycles
         return self.pmf[-1][0]
 
     def probability_at_most(self, cycles: int) -> float:
         """P(latency <= cycles) — the timing-budget yield."""
-        return sum(p for c, p in self.pmf if c <= cycles)
+        result = 0.0
+        for c, acc in self.cdf():
+            if c > cycles:
+                break
+            result = acc
+        return result
 
     @property
     def support(self) -> tuple[int, ...]:
@@ -89,7 +105,34 @@ def exact_latency_distribution(
     clock_ns: float,
     limit: int = EXACT_ENUMERATION_LIMIT,
 ) -> LatencyDistribution:
-    """Exact latency PMF under i.i.d. Bernoulli(p) fast outcomes."""
+    """Exact latency PMF under i.i.d. Bernoulli(p) fast outcomes.
+
+    Structured evaluators (``DistLatencyEvaluator``,
+    ``SyncLatencyEvaluator``) dispatch to the exact engine's
+    distribution propagation and are feasible at any ``k``; opaque
+    callables enumerate all ``2**k`` assignments, bounded by ``limit``.
+    """
+    from ..errors import ExactAnalysisError
+    from .latency import DistLatencyEvaluator, SyncLatencyEvaluator
+
+    try:
+        if isinstance(latency_fn, DistLatencyEvaluator):
+            from .exact_engine import analyze_dist_latency
+
+            return analyze_dist_latency(
+                latency_fn, tau_ops, p, scheme=scheme, clock_ns=clock_ns
+            ).distribution
+        if isinstance(latency_fn, SyncLatencyEvaluator):
+            from .exact_engine import analyze_sync_latency
+
+            return analyze_sync_latency(
+                latency_fn.taubm, tau_ops, p,
+                scheme=scheme, clock_ns=clock_ns,
+            ).distribution
+    except ExactAnalysisError:
+        if len(tau_ops) > limit:
+            raise
+        # cut too wide for the engine but enumeration still feasible
     if len(tau_ops) > limit:
         raise SimulationError(
             f"{len(tau_ops)} telescopic ops exceed the enumeration limit"
@@ -157,7 +200,7 @@ def compare_distributions(
     limit: int = EXACT_ENUMERATION_LIMIT,
 ) -> DistributionComparison:
     """Exact distribution comparison for one synthesized design."""
-    from .latency import DistLatencyEvaluator, sync_latency_cycles
+    from .latency import DistLatencyEvaluator, SyncLatencyEvaluator
 
     tau_ops = bound.telescopic_ops()
     clock = bound.allocation.clock_period_ns()
@@ -166,7 +209,7 @@ def compare_distributions(
     )
     sync = exact_latency_distribution(
         "CENT-SYNC",
-        lambda fast: sync_latency_cycles(taubm, fast),
+        SyncLatencyEvaluator(taubm),
         tau_ops,
         p,
         clock,

@@ -26,7 +26,7 @@ from collections.abc import Callable, Mapping, Sequence
 
 from ..binding.binder import BoundDataflowGraph
 from ..core.analysis import schedule_length
-from ..errors import SimulationError
+from ..errors import ExactAnalysisError, SimulationError
 from ..scheduling.schedule import TaubmSchedule
 
 #: Default limit on exhaustive enumeration (2**20 assignments).
@@ -100,6 +100,57 @@ class DistLatencyEvaluator:
             )
         return max(finish) if finish else 0
 
+    def execution_structure(
+        self,
+    ) -> tuple[
+        tuple[str, ...],
+        tuple[tuple[int, ...], ...],
+        tuple[int, ...],
+        tuple[int, ...],
+    ]:
+        """``(names, predecessor_indices, fast_durs, slow_durs)``.
+
+        The compiled execution-graph structure, exposed for the exact
+        engine's distribution propagation (:mod:`.exact_engine`).
+        """
+        return (
+            tuple(self._names),
+            tuple(self._preds),
+            tuple(self._fast_dur),
+            tuple(self._slow_dur),
+        )
+
+
+class SyncLatencyEvaluator:
+    """Compiled CENT-SYNC (TAUBM) latency evaluator.
+
+    The callable mirrors :func:`sync_latency_cycles` — one cycle per
+    step plus an extension when any of the step's TAU ops is slow, with
+    unmentioned ops defaulting to fast — but carries the schedule
+    structure so the exact engine can use the closed-form per-step model
+    instead of enumeration.
+    """
+
+    def __init__(self, taubm: TaubmSchedule) -> None:
+        self.taubm = taubm
+        self._steps = [
+            (step.tau_ops, bool(step.tau_ops)) for step in taubm.steps
+        ]
+
+    def __call__(self, fast: Mapping[str, bool]) -> int:
+        total = 0
+        for tau_ops, has_extension in self._steps:
+            total += 1
+            if has_extension and not all(
+                fast.get(op, True) for op in tau_ops
+            ):
+                total += 1
+        return total
+
+    def for_durations(self, durations: Mapping[str, int]) -> int:
+        """Latency for explicit per-op cycle counts (multi-level VCAUs)."""
+        return self.taubm.cycles_for_durations(durations)
+
 
 def dist_latency_cycles(
     bound: BoundDataflowGraph, fast: Mapping[str, bool]
@@ -139,13 +190,47 @@ def enumerate_assignments(
     return itertools.product((False, True), repeat=len(tau_ops))
 
 
+def _engine_analysis(
+    latency_fn: LatencyFn, tau_ops: Sequence[str], p: float
+) -> "object | None":
+    """Exact-engine analysis for structured evaluators, else ``None``.
+
+    Compiled evaluators expose the graph/schedule structure, so the
+    exact engine can propagate distributions instead of enumerating
+    ``2**k`` assignments; opaque callables keep the legacy enumerator.
+    Raises :class:`~repro.errors.ExactAnalysisError` when the structure
+    is too correlated for exact propagation.
+    """
+    from .exact_engine import analyze_dist_latency, analyze_sync_latency
+
+    if isinstance(latency_fn, DistLatencyEvaluator):
+        return analyze_dist_latency(latency_fn, tau_ops, p)
+    if isinstance(latency_fn, SyncLatencyEvaluator):
+        return analyze_sync_latency(latency_fn.taubm, tau_ops, p)
+    return None
+
+
 def exact_expected_latency(
     latency_fn: LatencyFn,
     tau_ops: Sequence[str],
     p: float,
     limit: int = EXACT_ENUMERATION_LIMIT,
 ) -> float:
-    """Exact expectation by exhaustive assignment enumeration."""
+    """Exact expectation: distribution propagation, else enumeration.
+
+    Structured evaluators (:class:`DistLatencyEvaluator`,
+    :class:`SyncLatencyEvaluator`) dispatch to the exact engine and are
+    feasible at any ``k``; opaque callables fall back to exhaustive
+    ``2**k`` enumeration, bounded by ``limit``.
+    """
+    try:
+        analysis = _engine_analysis(latency_fn, tau_ops, p)
+    except ExactAnalysisError:
+        if len(tau_ops) > limit:
+            raise
+        analysis = None  # cut too wide but enumeration still feasible
+    if analysis is not None:
+        return analysis.expectation
     if len(tau_ops) > limit:
         raise SimulationError(
             f"{len(tau_ops)} telescopic ops exceed the exact enumeration "
@@ -201,8 +286,36 @@ def exact_expected_latency_categorical(
 
     ``latency_fn`` maps an explicit duration assignment to cycles (use
     :meth:`DistLatencyEvaluator.for_durations` or
-    :meth:`TaubmSchedule.cycles_for_durations`).
+    :meth:`TaubmSchedule.cycles_for_durations`).  Bound methods of the
+    structured evaluators dispatch to the exact engine's distribution
+    propagation; other callables enumerate the duration cross-product.
     """
+    analysis = None
+    try:
+        owner = getattr(latency_fn, "__self__", None)
+        func = getattr(latency_fn, "__func__", None)
+        if isinstance(owner, DistLatencyEvaluator) and (
+            func is DistLatencyEvaluator.for_durations
+        ):
+            from .exact_engine import analyze_dist_categorical
+
+            analysis = analyze_dist_categorical(owner, table)
+        elif isinstance(owner, TaubmSchedule) and (
+            func is TaubmSchedule.cycles_for_durations
+        ):
+            from .exact_engine import analyze_sync_categorical
+
+            analysis = analyze_sync_categorical(owner, table)
+        elif isinstance(owner, SyncLatencyEvaluator) and (
+            func is SyncLatencyEvaluator.for_durations
+        ):
+            from .exact_engine import analyze_sync_categorical
+
+            analysis = analyze_sync_categorical(owner.taubm, table)
+    except ExactAnalysisError:
+        analysis = None  # exact enumeration below is still exact
+    if analysis is not None:
+        return analysis.expectation
     ops = list(table)
     combos = 1
     for rows in table.values():
@@ -247,10 +360,36 @@ def expected_latency(
     exact_limit: int = EXACT_ENUMERATION_LIMIT,
     trials: int = 4000,
     seed: int = 0,
+    *,
+    allow_monte_carlo: bool = True,
 ) -> float:
-    """Exact when feasible, Monte-Carlo otherwise."""
+    """Exact when feasible, Monte-Carlo otherwise.
+
+    Structured evaluators are exact at any ``k`` via the exact engine;
+    opaque callables are exact up to ``exact_limit`` enumerated ops.
+    With ``allow_monte_carlo=False`` an infeasible exact analysis raises
+    :class:`~repro.errors.ExactAnalysisError` instead of silently
+    degrading to a sampled estimate.
+    """
+    if isinstance(latency_fn, (DistLatencyEvaluator, SyncLatencyEvaluator)):
+        try:
+            return exact_expected_latency(
+                latency_fn, tau_ops, p, exact_limit
+            )
+        except ExactAnalysisError:
+            if not allow_monte_carlo:
+                raise
+            return monte_carlo_expected_latency(
+                latency_fn, tau_ops, p, trials, seed
+            )
     if len(tau_ops) <= exact_limit:
         return exact_expected_latency(latency_fn, tau_ops, p, exact_limit)
+    if not allow_monte_carlo:
+        raise ExactAnalysisError(
+            f"{len(tau_ops)} telescopic ops exceed the exact enumeration "
+            f"limit {exact_limit} and allow_monte_carlo=False",
+            limit=exact_limit,
+        )
     return monte_carlo_expected_latency(latency_fn, tau_ops, p, trials, seed)
 
 
@@ -355,23 +494,9 @@ def compare_latencies(
     """
     tau_ops = bound.telescopic_ops()
     clock = bound.allocation.clock_period_ns()
-    step_tau_units = [
-        [step.tau_ops, len(step.tau_ops)] for step in taubm.steps
-    ]
-
-    def sync_fn(fast: Mapping[str, bool]) -> int:
-        total = 0
-        for tau_ops_of_step, count in step_tau_units:
-            total += 1
-            if count and not all(
-                fast.get(op, True) for op in tau_ops_of_step
-            ):
-                total += 1
-        return total
-
     sync = scheme_latency(
         "CENT-SYNC",
-        sync_fn,
+        SyncLatencyEvaluator(taubm),
         tau_ops,
         clock,
         ps,

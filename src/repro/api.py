@@ -84,6 +84,7 @@ class SynthesisResult:
         policy=None,
         report=None,
         checkpoint=None,
+        engine: str = "auto",
     ) -> "LatencyStatistics":
         """Monte-Carlo first-iteration latency of one controller style.
 
@@ -93,7 +94,9 @@ class SynthesisResult:
         ``cache`` short-circuits previously simulated trials.
         ``policy``/``report`` supervise the pool and ``checkpoint``
         journals completed trials for byte-identical resume — see
-        :mod:`repro.runtime`.
+        :mod:`repro.runtime`.  ``engine`` picks the trial executor
+        (``"auto"``, ``"scalar"`` or ``"batch"`` — see
+        :func:`repro.sim.runner.monte_carlo_latency`).
         """
         from .sim.runner import monte_carlo_latency
 
@@ -108,6 +111,47 @@ class SynthesisResult:
             policy=policy,
             report=report,
             checkpoint=checkpoint,
+            engine=engine,
+        )
+
+    def exact_latency_analysis(
+        self, p: float = 0.7, style: str = "dist"
+    ):
+        """Exact first-iteration latency distribution, analytically.
+
+        Runs the polynomial-time exact engine
+        (:mod:`repro.analysis.exact_engine`) instead of ``2**k``
+        enumeration: per-node Bernoulli finish-time convolution for the
+        distributed scheme, per-step extension convolution for the
+        synchronized baseline.  Returns an
+        :class:`~repro.analysis.exact_engine.ExactLatencyAnalysis`
+        carrying the full PMF plus the engine diagnostics (correlation
+        cut width, DP state count).  ``style`` is ``"dist"`` or
+        ``"cent-sync"`` (the unsynchronized product FSM has no
+        analytical model).
+        """
+        from .analysis.exact_engine import (
+            analyze_dist_latency,
+            analyze_sync_latency,
+        )
+        from .analysis.latency import DistLatencyEvaluator
+
+        clock_ns = self.allocation.clock_period_ns()
+        tau_ops = self.bound.telescopic_ops()
+        if style == "dist":
+            return analyze_dist_latency(
+                DistLatencyEvaluator(self.bound),
+                tau_ops,
+                p,
+                clock_ns=clock_ns,
+            )
+        if style == "cent-sync":
+            return analyze_sync_latency(
+                self.taubm, tau_ops, p, clock_ns=clock_ns
+            )
+        raise SimulationError(
+            f"unknown analytical style {style!r}; choose 'dist' or "
+            f"'cent-sync'"
         )
 
     def system(self, style: str = "dist") -> ControllerSystem:

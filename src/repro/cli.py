@@ -379,8 +379,20 @@ def _cmd_experiments(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .perf.bench import CORE_BENCHMARKS, run_bench
+    from .perf.bench import (
+        CORE_BENCHMARKS,
+        compare_bench,
+        compare_bench_files,
+        run_bench,
+    )
 
+    if args.compare and args.compare_to:
+        # pure file diff: no bench run
+        comparison = compare_bench_files(
+            args.compare, args.compare_to, threshold=args.threshold
+        )
+        print(comparison.render())
+        return 0 if comparison.ok else 1
     report = run_bench(
         benchmarks=(
             tuple(args.benchmarks) if args.benchmarks else CORE_BENCHMARKS
@@ -397,6 +409,17 @@ def _cmd_bench(args) -> int:
     if args.output:
         report.write(args.output)
         print(f"\nwrote benchmark report to {args.output}")
+    if args.compare:
+        import json as json_module
+
+        with open(args.compare) as handle:
+            baseline = json_module.load(handle)
+        comparison = compare_bench(
+            baseline, report.data, threshold=args.threshold
+        )
+        print()
+        print(comparison.render())
+        return 0 if comparison.ok else 1
     return 0
 
 
@@ -953,7 +976,29 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="benchmark",
         default=None,
-        help="registered benchmark names (default: diffeq, ar_lattice)",
+        help="registered benchmark names (default: all ten)",
+    )
+    p_bench.add_argument(
+        "--compare",
+        metavar="OLD.json",
+        help=(
+            "diff this run (or --compare-to) against a baseline "
+            "BENCH_core.json; exit 1 on regression or value drift"
+        ),
+    )
+    p_bench.add_argument(
+        "--compare-to",
+        metavar="NEW.json",
+        help=(
+            "with --compare: diff two report files without running "
+            "any benchmark"
+        ),
+    )
+    p_bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="slowdown fraction that counts as a regression (0.20 = 20%%)",
     )
     p_bench.add_argument(
         "--quick",

@@ -114,6 +114,33 @@ class ProtocolError(SimulationError):
         }
 
 
+class ExactAnalysisError(SimulationError):
+    """Exact latency analysis exceeded its feasibility bounds.
+
+    Raised by :mod:`repro.analysis.exact_engine` when the correlated
+    frontier of the execution graph is wider than ``cut_limit`` (the DP
+    state space would explode) or the conditioned state count passes
+    ``state_limit`` — and by :func:`~repro.analysis.latency.expected_latency`
+    when exact analysis is infeasible and the caller forbade the
+    Monte-Carlo fallback with ``allow_monte_carlo=False``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cut_width: "int | None" = None,
+        limit: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.cut_width = cut_width
+        self.limit = limit
+
+    def context(self) -> "dict[str, object]":
+        """JSON-serializable description of the infeasibility."""
+        return {"cut_width": self.cut_width, "limit": self.limit}
+
+
 class VerificationError(SimulationError):
     """End-to-end datapath verification found wrong result values.
 

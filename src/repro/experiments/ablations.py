@@ -19,9 +19,9 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 
 from ..analysis.latency import (
-    dist_latency_cycles,
+    DistLatencyEvaluator,
+    SyncLatencyEvaluator,
     expected_latency,
-    sync_latency_cycles,
 )
 from ..analysis.tables import render_series, render_table
 from ..api import synthesize
@@ -89,21 +89,13 @@ def run_psweep(
     res = synthesize_benchmark(benchmark_name)
     tau_ops = res.bound.telescopic_ops()
     clock = res.allocation.clock_period_ns()
+    dist_eval = DistLatencyEvaluator(res.bound)
+    sync_eval = SyncLatencyEvaluator(res.taubm)
     dist_ns = []
     sync_ns = []
     for p in ps:
-        dist_ns.append(
-            expected_latency(
-                lambda fast: dist_latency_cycles(res.bound, fast), tau_ops, p
-            )
-            * clock
-        )
-        sync_ns.append(
-            expected_latency(
-                lambda fast: sync_latency_cycles(res.taubm, fast), tau_ops, p
-            )
-            * clock
-        )
+        dist_ns.append(expected_latency(dist_eval, tau_ops, p) * clock)
+        sync_ns.append(expected_latency(sync_eval, tau_ops, p) * clock)
     fixed = res.schedule.num_steps * res.allocation.original_clock_period_ns()
     return PSweepResult(
         benchmark=benchmark_name,
@@ -162,7 +154,7 @@ def run_sdld_sweep(
         res = synthesize(entry.dfg(), allocation)
         tau_ops = res.bound.telescopic_ops()
         cycles = expected_latency(
-            lambda fast: dist_latency_cycles(res.bound, fast), tau_ops, p
+            DistLatencyEvaluator(res.bound), tau_ops, p
         )
         dist_ns.append(cycles * sd)
         fixed_ns = (

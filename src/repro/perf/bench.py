@@ -25,9 +25,25 @@ from collections.abc import Callable, Sequence
 
 from .engine import resolve_workers
 
-#: benchmarks the core bench sweeps (paper Table-2 designs; the
-#: AR-lattice is the heaviest — 8 TAU ops, 65536-term exact expectation)
-CORE_BENCHMARKS = ("diffeq", "ar_lattice")
+#: benchmarks the core bench sweeps — every registered design; the
+#: AR-lattice row is the heaviest legacy enumeration (16 TAU ops,
+#: 65536 assignments) and the fdct/ewf rows the largest graphs
+CORE_BENCHMARKS = (
+    "fir3",
+    "fir5",
+    "iir2",
+    "iir3",
+    "diffeq",
+    "ar_lattice",
+    "fig2",
+    "fig3",
+    "fdct",
+    "ewf",
+)
+
+#: extra Monte-Carlo trials the vectorized engine is timed over — the
+#: lockstep engine's throughput only shows at batch scale
+BATCH_TRIALS_FACTOR = 50
 
 
 def _time_call(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -83,6 +99,22 @@ class BenchReport:
                     f"in {exact['seconds']:.3f} s "
                     f"({exact['assignments']} assignments)"
                 )
+            engine = row.get("exact_engine")
+            if engine is not None:
+                lines.append(
+                    f"    exact engine {engine['mean_cycles']:.4f} cycles "
+                    f"in {1e3 * engine['seconds']:.2f} ms "
+                    f"({engine['method']}, cut {engine['cut_width']}, "
+                    f"{engine['states']} states)"
+                )
+            batch = row.get("batch_mc")
+            if batch is not None:
+                lines.append(
+                    f"    batch MC {batch['trials']} trials in "
+                    f"{batch['seconds']:.3f} s "
+                    f"({batch['trials_per_s']:,.0f} trials/s, "
+                    f"×{batch['speedup_vs_serial']:.0f} vs serial)"
+                )
         return "\n".join(lines)
 
 
@@ -102,11 +134,13 @@ def _bench_row(
     can be journaled by :func:`~repro.runtime.journal.checkpointed_map`
     and leased to fabric worker nodes like any other shard.
     """
+    from ..analysis.exact_engine import analyze_dist_latency
     from ..analysis.latency import DistLatencyEvaluator, exact_expected_latency
     from ..api import synthesize
     from ..benchmarks.registry import benchmark
     from ..perf.cache import SynthesisCache
     from ..resources.completion import BernoulliCompletion
+    from ..sim.batch import BatchSimulator, batch_supported
     from ..sim.runner import monte_carlo_latency
     from ..sim.simulator import simulate
 
@@ -126,14 +160,14 @@ def _bench_row(
     serial_s, serial_stats = _time_call(
         lambda: monte_carlo_latency(
             system, result.bound, p=p, trials=trials, seed=seed,
-            workers=1,
+            workers=1, engine="scalar",
         ),
         repeats,
     )
     parallel_s, parallel_stats = _time_call(
         lambda: monte_carlo_latency(
             system, result.bound, p=p, trials=trials, seed=seed,
-            workers=workers,
+            workers=workers, engine="scalar",
         ),
         repeats,
     )
@@ -155,16 +189,53 @@ def _bench_row(
         },
     }
     tau_ops = result.bound.telescopic_ops()
-    if not (quick and len(tau_ops) > 12):
-        evaluator = DistLatencyEvaluator(result.bound)
-        exact_s, value = _time_call(
-            lambda: exact_expected_latency(evaluator, tau_ops, p),
+    evaluator = DistLatencyEvaluator(result.bound)
+    exact_s, value = _time_call(
+        lambda: exact_expected_latency(evaluator, tau_ops, p),
+        repeats,
+    )
+    row["exact_expectation"] = {
+        "seconds": _round(exact_s),
+        "value": round(float(value), 6),
+        "assignments": 2 ** len(tau_ops),
+    }
+    analysis_s, analysis = _time_call(
+        lambda: analyze_dist_latency(evaluator, tau_ops, p), repeats
+    )
+    row["exact_engine"] = {
+        "seconds": _round(analysis_s),
+        "method": analysis.method,
+        "cut_width": analysis.cut_width,
+        "states": analysis.states,
+        "components": analysis.components,
+        "mean_cycles": round(analysis.expectation, 6),
+        "std_cycles": round(analysis.std, 6),
+        "p99_cycles": analysis.quantile(0.99),
+    }
+    if batch_supported(system, result.bound):
+        batch_engine = BatchSimulator(system, result.bound)
+        batch_trials = trials * BATCH_TRIALS_FACTOR
+        # one cold run grows the transition memo; the timed runs then
+        # measure the steady-state (campaign) throughput
+        batch_engine.latencies(p, batch_trials, seed)
+        batch_s, batch_stats = _time_call(
+            lambda: batch_engine.statistics(p, batch_trials, seed),
             repeats,
         )
-        row["exact_expectation"] = {
-            "seconds": _round(exact_s),
-            "value": round(float(value), 6),
-            "assignments": 2 ** len(tau_ops),
+        check = batch_engine.statistics(p, trials, seed)
+        if check != serial_stats:  # pragma: no cover - invariant
+            raise AssertionError(
+                f"batch Monte-Carlo diverged from scalar on {name!r}"
+            )
+        rate = batch_trials / max(batch_s, 1e-9)
+        serial_rate = trials / max(serial_s, 1e-9)
+        row["batch_mc"] = {
+            "trials": batch_trials,
+            "seconds": _round(batch_s),
+            "trials_per_s": round(rate, 1),
+            "speedup_vs_serial": round(rate / serial_rate, 1),
+            "mean_cycles": round(batch_stats.mean, 6),
+            "memo_transitions": batch_engine.memo_size,
         }
     return row
 
@@ -187,9 +258,9 @@ def run_bench(
     """Time the core flows on ``benchmarks`` and build the report.
 
     ``quick`` shrinks the Monte-Carlo trial count and timing repeats to
-    CI-smoke scale and skips exact expectations wider than 12 TAU ops;
-    the JSON structure stays identical so quick and full runs diff
-    cleanly.
+    CI-smoke scale; the JSON structure stays identical so quick and
+    full runs diff cleanly (``compare_bench`` normalizes timings to
+    per-trial rates where the trial counts differ).
 
     ``cache_dir`` backs synthesis with the per-pass artifact cache, so
     the synthesis column measures the cached path on a warm directory
@@ -236,7 +307,7 @@ def run_bench(
     )
     rows = dict(zip(names, row_list))
     data = {
-        "schema": 1,
+        "schema": 2,
         "quick": quick,
         "trials": trials,
         "workers": workers,
@@ -251,3 +322,194 @@ def run_bench(
         "benchmarks": rows,
     }
     return BenchReport(data=data)
+
+
+# -- regression comparison ----------------------------------------------
+
+#: default relative slowdown tolerated before a section counts as a
+#: regression (``repro bench --compare`` exits non-zero above it)
+REGRESSION_THRESHOLD = 0.20
+
+
+def _comparable_metrics(row: dict) -> "dict[str, float]":
+    """Per-call / per-trial seconds for every timed section of a row.
+
+    Rates are normalized per trial where trial counts may differ, so a
+    ``--quick`` run compares cleanly against a full baseline.
+    """
+    metrics: dict[str, float] = {}
+    if "synthesize_s" in row:
+        metrics["synthesize"] = row["synthesize_s"]
+    if "simulate_s" in row:
+        metrics["simulate"] = row["simulate_s"]
+    mc = row.get("monte_carlo")
+    if mc and mc.get("trials"):
+        metrics["mc_serial_per_trial"] = mc["serial_s"] / mc["trials"]
+    exact = row.get("exact_expectation")
+    if exact is not None:
+        metrics["exact_expectation"] = exact["seconds"]
+    engine = row.get("exact_engine")
+    if engine is not None:
+        metrics["exact_engine"] = engine["seconds"]
+    batch = row.get("batch_mc")
+    if batch and batch.get("trials"):
+        metrics["batch_mc_per_trial"] = batch["seconds"] / batch["trials"]
+    return metrics
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (benchmark, section) timing pair from two bench reports."""
+
+    benchmark: str
+    metric: str
+    old_s: float
+    new_s: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the new run is (>1 = faster, <1 = slower)."""
+        return self.old_s / max(self.new_s, 1e-12)
+
+    def regressed(self, threshold: float) -> bool:
+        return self.new_s > self.old_s * (1.0 + threshold)
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Diff of two bench reports: per-section speedups + a gate."""
+
+    rows: tuple[ComparisonRow, ...]
+    threshold: float
+    value_drifts: tuple[str, ...] = ()
+
+    @property
+    def regressions(self) -> tuple[ComparisonRow, ...]:
+        return tuple(
+            row for row in self.rows if row.regressed(self.threshold)
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no timing regression and no result-value drift."""
+        return not self.regressions and not self.value_drifts
+
+    def render(self) -> str:
+        lines = [
+            f"bench comparison (regression threshold "
+            f"{100 * self.threshold:.0f}%)",
+            f"  {'benchmark':<12} {'section':<20} "
+            f"{'old':>12} {'new':>12} {'speedup':>9}",
+        ]
+        for row in self.rows:
+            flag = (
+                "  << REGRESSION" if row.regressed(self.threshold) else ""
+            )
+            lines.append(
+                f"  {row.benchmark:<12} {row.metric:<20} "
+                f"{row.old_s:>10.6f} s {row.new_s:>10.6f} s "
+                f"{row.speedup:>8.2f}x{flag}"
+            )
+        for drift in self.value_drifts:
+            lines.append(f"  VALUE DRIFT: {drift}")
+        if self.ok:
+            lines.append("  ok — no section regressed")
+        else:
+            lines.append(
+                f"  FAIL — {len(self.regressions)} section(s) regressed, "
+                f"{len(self.value_drifts)} value drift(s)"
+            )
+        return "\n".join(lines)
+
+
+def _value_drifts(old: dict, new: dict) -> "list[str]":
+    """Deterministic result values that changed between two reports.
+
+    Timing noise is expected; *result* drift (exact expectations,
+    Monte-Carlo means at identical trials/seed/p) means the engines
+    changed behaviour and always fails the gate.
+    """
+    drifts: list[str] = []
+    same_p = old.get("p") == new.get("p")
+    same_mc = same_p and (
+        old.get("trials") == new.get("trials")
+        and old.get("seed") == new.get("seed")
+    )
+    old_rows = old.get("benchmarks", {})
+    new_rows = new.get("benchmarks", {})
+    for name in sorted(set(old_rows) & set(new_rows)):
+        old_row, new_row = old_rows[name], new_rows[name]
+        if same_p:
+            for section in ("exact_expectation",):
+                a = (old_row.get(section) or {}).get("value")
+                b = (new_row.get(section) or {}).get("value")
+                if a is not None and b is not None and a != b:
+                    drifts.append(
+                        f"{name}.{section}.value {a} -> {b}"
+                    )
+        if same_mc:
+            a = (old_row.get("monte_carlo") or {}).get("mean_cycles")
+            b = (new_row.get("monte_carlo") or {}).get("mean_cycles")
+            if a is not None and b is not None and a != b:
+                drifts.append(
+                    f"{name}.monte_carlo.mean_cycles {a} -> {b}"
+                )
+        if old_row.get("simulated_cycles") != new_row.get(
+            "simulated_cycles"
+        ) and old.get("seed") == new.get("seed") and same_p:
+            drifts.append(
+                f"{name}.simulated_cycles "
+                f"{old_row.get('simulated_cycles')} -> "
+                f"{new_row.get('simulated_cycles')}"
+            )
+    return drifts
+
+
+def compare_bench(
+    old: dict,
+    new: dict,
+    *,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> BenchComparison:
+    """Diff two bench report documents (``BenchReport.data`` dicts).
+
+    Sections present in both reports are compared on per-call (or
+    per-trial, for the Monte-Carlo paths) seconds; sections only one
+    side has are skipped, so reports from different schema versions
+    still diff on their common surface.
+    """
+    rows: list[ComparisonRow] = []
+    old_rows = old.get("benchmarks", {})
+    new_rows = new.get("benchmarks", {})
+    for name in sorted(set(old_rows) & set(new_rows)):
+        old_metrics = _comparable_metrics(old_rows[name])
+        new_metrics = _comparable_metrics(new_rows[name])
+        for metric in old_metrics:
+            if metric in new_metrics:
+                rows.append(
+                    ComparisonRow(
+                        benchmark=name,
+                        metric=metric,
+                        old_s=old_metrics[metric],
+                        new_s=new_metrics[metric],
+                    )
+                )
+    return BenchComparison(
+        rows=tuple(rows),
+        threshold=threshold,
+        value_drifts=tuple(_value_drifts(old, new)),
+    )
+
+
+def compare_bench_files(
+    old_path: str,
+    new_path: str,
+    *,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> BenchComparison:
+    """``compare_bench`` over two report files on disk."""
+    with open(old_path) as handle:
+        old = json.load(handle)
+    with open(new_path) as handle:
+        new = json.load(handle)
+    return compare_bench(old, new, threshold=threshold)

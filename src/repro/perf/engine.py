@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Callable, Iterable, Sequence
@@ -51,6 +52,11 @@ _R = TypeVar("_R")
 #: upper bound on auto-resolved worker counts (a fork bomb guard for
 #: machines reporting hundreds of cores)
 MAX_AUTO_WORKERS = 16
+
+#: estimated pool spawn + import cost per worker process (seconds) the
+#: parallel time saving must beat before a pool is worth starting —
+#: measured at ~70–90 ms per spawned CPython 3.12 worker
+POOL_STARTUP_S_PER_WORKER = 0.08
 
 
 def derive_seed_text(text: str) -> int:
@@ -160,9 +166,10 @@ def _serial_map(
     fn: Callable[[_T], _R],
     work: Sequence[_T],
     on_result: "Callable[[int, _R], None] | None",
+    start: int = 0,
 ) -> list[_R]:
     out: list[_R] = []
-    for index, item in enumerate(work):
+    for index, item in enumerate(work, start=start):
         value = fn(item)
         if on_result is not None:
             on_result(index, value)
@@ -179,6 +186,7 @@ def parallel_map(
     policy: "RunPolicy | None" = None,
     report: "RunReport | None" = None,
     on_result: "Callable[[int, _R], None] | None" = None,
+    amortize: bool = True,
 ) -> list[_R]:
     """Order-preserving map of ``fn`` over ``items``.
 
@@ -202,7 +210,17 @@ def parallel_map(
     ``fn`` must be a module-level callable (or a ``functools.partial``
     of one) whose captured arguments pickle; per-item randomness must be
     derived from the item itself (see :func:`derive_seed`).
+
+    ``amortize=True`` (the default, skipped under a ``policy``) times
+    the first item in-process and keeps the whole map serial when the
+    estimated remaining work would not amortize the pool startup cost
+    (:data:`POOL_STARTUP_S_PER_WORKER` per worker) — sub-millisecond
+    trials no longer pay a pool that makes them *slower*.  The decision
+    is recorded in ``report`` as a ``parallel-amortization`` event
+    either way, so a silently-serial ``-j`` run stays observable.
     """
+    from ..runtime.policy import record_event
+
     work: Sequence[_T] = list(items)
     if not work:
         return []
@@ -212,6 +230,39 @@ def parallel_map(
         count = 1
     if count <= 1:
         return _serial_map(fn, work, on_result)
+    prefix: list[_R] = []
+    offset = 0
+    if amortize and policy is None:
+        started = time.perf_counter()
+        first = fn(work[0])
+        probe_s = time.perf_counter() - started
+        if on_result is not None:
+            on_result(0, first)
+        prefix = [first]
+        offset = 1
+        work = work[1:]
+        count = min(count, len(work))
+        startup_s = POOL_STARTUP_S_PER_WORKER * count
+        # the pool saves at most the non-serial share of the remaining
+        # serial time; it must beat the startup cost to be worth it
+        saving_s = probe_s * len(work) * (1.0 - 1.0 / count)
+        if saving_s < startup_s:
+            record_event(
+                report,
+                "parallel-amortization",
+                f"{len(work) + 1} items at ~{probe_s * 1e3:.2f} ms each "
+                f"save ~{saving_s * 1e3:.0f} ms across {count} workers, "
+                f"under the ~{startup_s * 1e3:.0f} ms pool startup; "
+                f"running serially (results unchanged)",
+            )
+            return prefix + _serial_map(fn, work, on_result, start=offset)
+        record_event(
+            report,
+            "parallel-amortization",
+            f"{len(work) + 1} items at ~{probe_s * 1e3:.2f} ms each "
+            f"amortize the ~{startup_s * 1e3:.0f} ms pool startup; "
+            f"running on {count} workers",
+        )
     if chunksize is None:
         chunksize = default_chunksize(len(work), count)
     if policy is not None:
@@ -234,8 +285,8 @@ def parallel_map(
         # the pool (e.g. results that do not unpickle); fall back rather
         # than lose the run.
         _warn_serial_fallback(fn, work[0], report)
-        return _serial_map(fn, work, on_result)
+        return prefix + _serial_map(fn, work, on_result, start=offset)
     if on_result is not None:
         for index, value in enumerate(results):
-            on_result(index, value)
-    return results
+            on_result(index + offset, value)
+    return prefix + results

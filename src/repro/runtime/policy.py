@@ -41,6 +41,8 @@ EVENT_KINDS = (
     "serial-degrade",  # an exhausted item ran its last attempt in-process
     "skip",  # an exhausted item was dropped (result is None)
     "serial-fallback",  # an unpicklable payload lost its -j speedup
+    "parallel-amortization",  # probe-based serial-vs-pool decision
+    "batch-engine",  # Monte-Carlo trials ran on the vectorized engine
     "cache-quarantine",  # a corrupt cache entry was moved aside
     "journal-quarantine",  # a corrupt checkpoint shard was moved aside
     "journal-repair",  # a shard was restored from its replica twin

@@ -7,6 +7,12 @@ from .controllers import (
     single_fsm_system,
     system_from_bound,
 )
+from .batch import (
+    BatchSimulator,
+    batch_monte_carlo_latency,
+    batch_supported,
+    numpy_available,
+)
 from .datapath import Datapath
 from .runner import (
     LatencyStatistics,
@@ -27,6 +33,7 @@ from .stimulus import (
 from .vcd import trace_to_vcd
 
 __all__ = [
+    "BatchSimulator",
     "ControllerSystem",
     "CycleRecord",
     "Datapath",
@@ -37,10 +44,13 @@ __all__ = [
     "SystemConfig",
     "SystemStep",
     "ValueDistribution",
+    "batch_monte_carlo_latency",
+    "batch_supported",
     "constant_streams",
     "gantt",
     "input_streams",
     "monte_carlo_latency",
+    "numpy_available",
     "pipelined_throughput",
     "simulate",
     "simulate_assignment",

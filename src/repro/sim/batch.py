@@ -1,0 +1,502 @@
+"""Vectorized batch Monte-Carlo simulation (thousands of trials in lockstep).
+
+The scalar path in :mod:`repro.sim.runner` runs one Python event loop
+per trial; at sub-millisecond per simulation the interpreter dispatch —
+not the model — dominates.  This engine simulates *all* trials at once
+with trial-major numpy arrays:
+
+* **Replicated randomness.**  The scalar simulator draws fast/slow
+  outcomes from ``random.Random(derive_seed(seed, trial))`` — CPython's
+  MT19937.  :func:`mt_streams` reproduces those exact streams in bulk:
+  it vectorizes ``init_by_array`` over the trial axis (state matrix of
+  shape ``(624, trials)``, processed in cache-resident chunks) and
+  tempers the first ``2*draws`` outputs directly from the seeded state
+  (no twist is needed below 227 outputs), yielding the same
+  53-bit doubles ``random.random()`` would return, bit for bit.
+* **Transition memo.**  The cycle step is driven by the *real*
+  :meth:`~repro.sim.controllers.ControllerSystem.step` — but a system
+  only ever visits a few thousand distinct ``(config, completion
+  flags)`` pairs, so each is expanded once into dense row tables
+  (next config id, per-unit keep masks, completed-op bitmask, started
+  ops) and every cycle becomes a handful of array gathers across all
+  live trials.  The memo persists on the :class:`BatchSimulator`, so
+  repeated campaigns over the same design skip expansion entirely.
+* **Bitvector completion tracking.**  Completed ops accumulate into one
+  int64 bitmask per trial; a trial finishes the cycle its mask covers
+  every operation, matching the scalar first-iteration latency
+  semantics.  Finished trials are compacted out of the live arrays.
+
+Statistics are byte-identical to ``monte_carlo_latency``'s scalar path
+(pinned by ``tests/test_sim_batch.py`` across all three controller
+styles); the engine refuses — rather than approximates — anything it
+cannot reproduce exactly (non-Bernoulli models, >63 ops, missing
+numpy).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+from .runner import LatencyStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..binding.binder import BoundDataflowGraph
+    from .controllers import ControllerSystem
+
+try:  # numpy is an optional dependency; every entry point is gated
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized engine can run in this interpreter."""
+    return _np is not None
+
+
+class BatchUnsupported(SimulationError):
+    """The batch engine cannot reproduce this configuration exactly."""
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise BatchUnsupported(
+            "batch Monte-Carlo requires numpy; install it or use the "
+            "scalar engine"
+        )
+
+
+# -- MT19937 stream replication ------------------------------------------
+
+#: ``random.random()`` consumes two 32-bit outputs per double; the
+#: untwisted MT state yields 227 outputs, so 113 draws per trial is the
+#: widest block the no-twist fast path can serve.
+_MAX_DRAWS = 113
+
+
+def _mt_base():
+    """State after ``init_genrand(19650218)`` — shared by every seed."""
+    mt = _np.empty(624, dtype=_np.uint64)
+    mt[0] = 19650218
+    for i in range(1, 624):
+        mt[i] = (1812433253 * (mt[i - 1] ^ (mt[i - 1] >> 30)) + i) & (
+            0xFFFFFFFF
+        )
+    return mt.astype(_np.uint32)
+
+
+_BASE = None
+
+
+def _chunk_streams(key0, key1, draws, scratch):
+    """``random.random()`` doubles for one chunk of trial seeds.
+
+    Runs CPython's ``init_by_array`` over the whole chunk at once (the
+    state matrix is ``(624, chunk)``; all ops in-place on ``scratch``),
+    then tempers the first ``2*draws`` outputs straight from the seeded
+    state.  ``key0``/``key1`` are the little-endian 32-bit words of the
+    63-bit :func:`~repro.perf.engine.derive_seed` values.
+    """
+    mt, tmp = scratch
+    mt[:] = _BASE[:, None]
+    key = (key0, key1)
+    xor, rsh = _np.bitwise_xor, _np.right_shift
+    mul, add, sub = _np.multiply, _np.add, _np.subtract
+    i, j = 1, 0
+    for _ in range(624, 0, -1):
+        prev, row = mt[i - 1], mt[i]
+        rsh(prev, 30, out=tmp)
+        xor(prev, tmp, out=tmp)
+        mul(tmp, _np.uint32(1664525), out=tmp)
+        xor(row, tmp, out=row)
+        add(row, key[j], out=row)
+        if j:
+            add(row, _np.uint32(j), out=row)
+        i += 1
+        j += 1
+        if i >= 624:
+            mt[0] = mt[623]
+            i = 1
+        if j >= 2:
+            j = 0
+    for _ in range(623, 0, -1):
+        prev, row = mt[i - 1], mt[i]
+        rsh(prev, 30, out=tmp)
+        xor(prev, tmp, out=tmp)
+        mul(tmp, _np.uint32(1566083941), out=tmp)
+        xor(row, tmp, out=row)
+        sub(row, _np.uint32(i), out=row)
+        i += 1
+        if i >= 624:
+            mt[0] = mt[623]
+            i = 1
+    mt[0] = _np.uint32(0x80000000)
+    n = 2 * draws
+    y = (mt[0:n] & _np.uint32(0x80000000)) | (
+        mt[1 : n + 1] & _np.uint32(0x7FFFFFFF)
+    )
+    out = mt[397 : 397 + n] ^ (y >> 1) ^ ((y & _np.uint32(1)) * (
+        _np.uint32(0x9908B0DF)
+    ))
+    out ^= out >> 11
+    out ^= (out << 7) & _np.uint32(0x9D2C5680)
+    out ^= (out << 15) & _np.uint32(0xEFC60000)
+    out ^= out >> 18
+    high = (out[0::2] >> 5).astype(_np.float64)
+    low = (out[1::2] >> 6).astype(_np.float64)
+    return ((high * 67108864.0 + low) * (1.0 / 9007199254740992.0)).T
+
+
+def mt_streams(seeds, draws: int, chunk: int = 16384):
+    """``(trials, draws)`` doubles matching ``random.Random(seed)``.
+
+    Byte-for-byte the values ``random.Random(int(seed)).random()`` would
+    produce, for every seed at once.  ``draws`` is capped at 113 (the
+    no-twist limit); ``chunk`` bounds the working set so the state
+    matrix stays cache-resident.
+    """
+    _require_numpy()
+    global _BASE
+    if _BASE is None:
+        _BASE = _mt_base()
+    if draws > _MAX_DRAWS:
+        raise BatchUnsupported(
+            f"{draws} draws per trial exceeds the no-twist limit "
+            f"{_MAX_DRAWS}"
+        )
+    seeds = _np.asarray(seeds, dtype=_np.uint64)
+    key0 = (seeds & _np.uint64(0xFFFFFFFF)).astype(_np.uint32)
+    key1 = (seeds >> _np.uint64(32)).astype(_np.uint32)
+    trials = seeds.shape[0]
+    result = _np.empty((trials, draws))
+    scratch = None
+    for lo in range(0, trials, chunk):
+        hi = min(lo + chunk, trials)
+        if scratch is None or hi - lo != scratch[0].shape[1]:
+            scratch = (
+                _np.empty((624, hi - lo), dtype=_np.uint32),
+                _np.empty(hi - lo, dtype=_np.uint32),
+            )
+        result[lo:hi] = _chunk_streams(
+            key0[lo:hi], key1[lo:hi], draws, scratch
+        )
+    return result
+
+
+# -- the lockstep engine -------------------------------------------------
+
+
+class _DrawOverflow(Exception):
+    """A trial needed more Bernoulli draws than were pre-generated."""
+
+
+class BatchSimulator:
+    """Lockstep Monte-Carlo engine for one ``(system, bound)`` design.
+
+    Construction compiles the op/unit tables; the transition memo then
+    grows on demand as trials visit new ``(config, flags)`` pairs and is
+    kept across :meth:`latencies` calls — a warm engine simulates 100k
+    AR-lattice trials without a single Python-level ``step`` call.
+    """
+
+    def __init__(
+        self, system: "ControllerSystem", bound: "BoundDataflowGraph"
+    ) -> None:
+        _require_numpy()
+        ops = sorted(system.all_ops())
+        if len(ops) > 63:
+            raise BatchUnsupported(
+                f"{len(ops)} ops exceed the 63-bit completion mask"
+            )
+        self.system = system
+        self.bound = bound
+        self.ops = ops
+        self.N = len(ops)
+        self.opi = {op: i for i, op in enumerate(ops)}
+        units = sorted({bound.unit_of(op).name for op in ops})
+        self.units = units
+        self.U = len(units)
+        unit_index = {u: i for i, u in enumerate(units)}
+        self.unit_arr = [unit_index[bound.unit_of(op).name] for op in ops]
+        telescopic = set(bound.telescopic_ops()) & set(ops)
+        self.is_tele = [op in telescopic for op in ops]
+        fast = [
+            bound.duration_for_level(op, 0)
+            if op in telescopic
+            else bound.duration_cycles(op, fast=True)
+            for op in ops
+        ]
+        slow = [
+            bound.duration_for_level(op, bound.unit_of(op).num_levels - 1)
+            if op in telescopic
+            else fast[i]
+            for i, op in enumerate(ops)
+        ]
+        self.fast_arr = _np.array(fast, dtype=_np.int16)
+        self.slow_arr = _np.array(slow, dtype=_np.int16)
+        self.k = len(telescopic)
+        self.max_cycles = 16 + 4 * sum(
+            bound.duration_cycles(op, fast=False) for op in ops
+        )
+        # persistent transition memo: one row per (config, flags) pair
+        self._config_ids: dict = {}
+        self._configs: list = []
+        self._next_config: list[int] = []
+        self._keep_rows: list = []
+        self._done_rows: list[int] = []
+        self._start_rows: list = []
+        self._rowtab = _np.full(1 << self.U, -1, dtype=_np.int64)
+        self._tables_cache = None
+        self.init_config = self._intern(system.initial_config())
+        self.init_starts = sorted(system.initial_starts())
+        # draws per trial: one per telescopic start, including the
+        # wrap-around second-iteration starts observed before the last
+        # first-iteration completion; k + 2U + 2 covers every benchmark
+        # with margin, and an overflow doubles the block and retries
+        self.initial_draws = min(self.k + 2 * self.U + 2, _MAX_DRAWS)
+
+    # -- transition memo -------------------------------------------------
+
+    def _intern(self, config) -> int:
+        row = self._config_ids.get(config)
+        if row is None:
+            row = len(self._configs)
+            self._config_ids[config] = row
+            self._configs.append(config)
+            need = len(self._configs) << self.U
+            if self._rowtab.size < need:
+                grown = _np.full(
+                    max(need, 2 * self._rowtab.size), -1, dtype=_np.int64
+                )
+                grown[: self._rowtab.size] = self._rowtab
+                self._rowtab = grown
+        return row
+
+    def _expand(self, key: int) -> None:
+        """Memoize one ``(config, completion flags)`` transition."""
+        config_id = key >> self.U
+        flag_bits = key & ((1 << self.U) - 1)
+        unit_completions = {
+            self.units[u]: bool(flag_bits >> u & 1) for u in range(self.U)
+        }
+        step = self.system.step(
+            self._configs[config_id], unit_completions
+        )
+        keep = _np.ones(self.U, dtype=bool)
+        done_bits = 0
+        for op in step.completes:
+            keep[self.unit_arr[self.opi[op]]] = False
+            done_bits |= 1 << self.opi[op]
+        starts = _np.zeros(self.N, dtype=bool)
+        for op in step.starts:
+            starts[self.opi[op]] = True
+        next_config = self._intern(step.config)
+        self._next_config.append(next_config)
+        self._keep_rows.append(keep)
+        self._done_rows.append(done_bits)
+        self._start_rows.append(starts)
+        self._rowtab[key] = len(self._next_config) - 1
+        self._tables_cache = None
+
+    def _tables(self):
+        if self._tables_cache is None:
+            start_matrix = _np.array(self._start_rows)
+            self._tables_cache = (
+                _np.array(self._next_config, dtype=_np.int64),
+                _np.array(self._keep_rows),
+                _np.array(self._done_rows, dtype=_np.int64),
+                start_matrix,
+                start_matrix.any(axis=1),
+            )
+        return self._tables_cache
+
+    @property
+    def memo_size(self) -> int:
+        """Distinct ``(config, flags)`` transitions expanded so far."""
+        return len(self._next_config)
+
+    # -- simulation ------------------------------------------------------
+
+    def latencies(self, p: float, trials: int, seed: int = 0):
+        """First-iteration latencies (cycles) for all trials.
+
+        Entry ``t`` equals ``simulate(system, bound,
+        BernoulliCompletion(p), seed=derive_seed(seed, trial=t)).cycles``
+        exactly.
+        """
+        from ..perf.engine import derive_seed
+
+        if trials <= 0:
+            raise SimulationError("batch Monte-Carlo needs >= 1 trial")
+        seeds = _np.fromiter(
+            (derive_seed(seed, t) for t in range(trials)),
+            dtype=_np.uint64,
+            count=trials,
+        )
+        draws = self.initial_draws
+        while True:
+            bits = mt_streams(seeds, draws) < p
+            try:
+                return self._run(bits)
+            except _DrawOverflow:
+                if draws >= _MAX_DRAWS:
+                    raise BatchUnsupported(
+                        "trial exceeded the per-trial draw budget"
+                    ) from None
+                draws = min(2 * draws, _MAX_DRAWS)
+
+    def statistics(
+        self, p: float, trials: int, seed: int = 0
+    ) -> LatencyStatistics:
+        """``LatencyStatistics`` byte-identical to the scalar path."""
+        return LatencyStatistics.from_samples(
+            self.latencies(p, trials, seed).tolist()
+        )
+
+    def _run(self, bits):
+        trials = bits.shape[0]
+        width = bits.shape[1]
+        unit_arr, is_tele = self.unit_arr, self.is_tele
+        fast_arr, slow_arr = self.fast_arr, self.slow_arr
+        remaining = _np.zeros((trials, self.U), dtype=_np.int16)
+        executing = _np.zeros((trials, self.U), dtype=bool)
+        config = _np.full(trials, self.init_config, dtype=_np.int64)
+        draw_count = _np.zeros(trials, dtype=_np.int64)
+        done_mask = _np.zeros(trials, dtype=_np.int64)
+        latency = _np.full(trials, -1, dtype=_np.int64)
+        # live-trial view; ``bits``/``draw_count`` index by original
+        # trial id and are never compacted
+        orig = _np.arange(trials)
+
+        def start_op(op, rows, trial_ids, extra):
+            unit = unit_arr[op]
+            if is_tele[op]:
+                counts = draw_count[trial_ids]
+                if counts.size and int(counts.max()) >= width:
+                    raise _DrawOverflow
+                fast_bit = bits[trial_ids, counts]
+                draw_count[trial_ids] = counts + 1
+                remaining[rows, unit] = _np.where(
+                    fast_bit, fast_arr[op], slow_arr[op]
+                ).astype(_np.int16) + _np.int16(extra)
+            else:
+                remaining[rows, unit] = int(fast_arr[op]) + extra
+            executing[rows, unit] = True
+
+        all_rows = _np.arange(trials)
+        for op in self.init_starts:
+            start_op(self.opi[op], all_rows, all_rows, 0)
+        full = _np.int64((1 << self.N) - 1)
+        cycle = 0
+        while orig.size:
+            if cycle >= self.max_cycles:
+                raise SimulationError(
+                    f"batch simulation exceeded {self.max_cycles} cycles"
+                )
+            flags = executing & (remaining <= _np.int16(1))
+            flag_bits = _np.packbits(
+                flags, axis=1, bitorder="little"
+            )[:, 0].astype(_np.int64)
+            keys = (config << _np.int64(self.U)) | flag_bits
+            rows = self._rowtab[keys]
+            missing = rows < 0
+            if missing.any():
+                for key in _np.unique(keys[missing]):
+                    self._expand(int(key))
+                rows = self._rowtab[keys]
+            next_config, keep, done, start_matrix, row_starts = (
+                self._tables()
+            )
+            config = next_config[rows]
+            executing &= keep[rows]
+            done_mask |= done[rows]
+            if row_starts[rows].any():
+                started_ops = _np.flatnonzero(
+                    start_matrix[_np.unique(rows)].any(axis=0)
+                )
+                # sorted op order matches the scalar simulator's
+                # deterministic draw order
+                columns = start_matrix[:, started_ops][rows]
+                for col in range(started_ops.size):
+                    hit = _np.flatnonzero(columns[:, col])
+                    if hit.size:
+                        start_op(
+                            int(started_ops[col]), hit, orig[hit], 1
+                        )
+            remaining -= _np.int16(1)
+            cycle += 1
+            finished = done_mask == full
+            n_finished = int(_np.count_nonzero(finished))
+            if n_finished:
+                latency[orig[finished]] = cycle
+                if n_finished == orig.size:
+                    break
+                live = ~finished
+                orig = orig[live]
+                remaining = remaining[live]
+                executing = executing[live]
+                config = config[live]
+                done_mask = done_mask[live]
+        return latency
+
+
+def batch_monte_carlo_latency(
+    system: "ControllerSystem",
+    bound: "BoundDataflowGraph",
+    p: float,
+    trials: int = 200,
+    seed: int = 0,
+    *,
+    engine: "BatchSimulator | None" = None,
+) -> LatencyStatistics:
+    """Vectorized drop-in for the scalar ``monte_carlo_latency`` core.
+
+    Pass a prebuilt :class:`BatchSimulator` as ``engine`` to reuse its
+    transition memo across calls; otherwise one is built (and cached per
+    ``(system, bound)`` pair) on the fly.
+    """
+    if engine is None:
+        engine = shared_engine(system, bound)
+    return engine.statistics(p, trials, seed)
+
+
+# engines keyed on the live system object; entries die with the system
+_ENGINES: "dict | None" = None
+
+
+def shared_engine(
+    system: "ControllerSystem", bound: "BoundDataflowGraph"
+) -> BatchSimulator:
+    """The process-wide memoized engine for ``(system, bound)``."""
+    import weakref
+
+    global _ENGINES
+    _require_numpy()
+    if _ENGINES is None:
+        _ENGINES = weakref.WeakKeyDictionary()
+    entry = _ENGINES.get(system)
+    if entry is not None and entry[0] is bound:
+        return entry[1]
+    engine = BatchSimulator(system, bound)
+    _ENGINES[system] = (bound, engine)
+    return engine
+
+
+def batch_supported(
+    system: "ControllerSystem", bound: "BoundDataflowGraph"
+) -> bool:
+    """Whether the batch engine can take this design at all."""
+    return numpy_available() and len(system.all_ops()) <= 63
+
+
+__all__: Sequence[str] = (
+    "BatchSimulator",
+    "BatchUnsupported",
+    "batch_monte_carlo_latency",
+    "batch_supported",
+    "mt_streams",
+    "numpy_available",
+    "shared_engine",
+)

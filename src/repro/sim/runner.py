@@ -9,6 +9,7 @@ from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
 from ..binding.binder import BoundDataflowGraph
+from ..errors import SimulationError
 from ..resources.completion import (
     AssignmentCompletion,
     BernoulliCompletion,
@@ -118,6 +119,7 @@ def monte_carlo_latency(
     report: "RunReport | None" = None,
     checkpoint: "CheckpointJournal | str | None" = None,
     fabric=None,
+    engine: str = "auto",
 ) -> LatencyStatistics:
     """Simulate ``trials`` runs under Bernoulli(p) completion.
 
@@ -135,9 +137,59 @@ def monte_carlo_latency(
     :class:`~repro.fabric.FabricConfig`, requires ``checkpoint``)
     distributes the missing trials over fabric worker nodes instead of
     a local pool — same shard keys, same bytes.
+
+    ``engine`` selects the trial executor: ``"scalar"`` runs one
+    event-loop simulation per trial, ``"batch"`` requires the
+    numpy-vectorized lockstep engine (:mod:`repro.sim.batch` —
+    statistics byte-identical to scalar, orders of magnitude faster),
+    and ``"auto"`` (the default) uses the batch engine whenever it
+    applies (numpy present, <= 63 ops, no cache/policy/checkpoint/
+    fabric supervision requested) and the scalar path otherwise.
     """
     from ..perf.engine import derive_seed
 
+    if engine not in ("auto", "scalar", "batch"):
+        raise SimulationError(
+            f"engine must be 'auto', 'scalar' or 'batch', got {engine!r}"
+        )
+    if engine != "scalar":
+        from .batch import BatchUnsupported, batch_supported
+
+        supervised = (
+            cache is not None
+            or policy is not None
+            or checkpoint is not None
+            or fabric is not None
+        )
+        if engine == "batch" and supervised:
+            raise SimulationError(
+                "engine='batch' is incompatible with cache/policy/"
+                "checkpoint/fabric supervision; use engine='auto' or "
+                "'scalar'"
+            )
+        if not supervised and trials > 0 and batch_supported(system, bound):
+            from ..runtime.policy import record_event
+            from .batch import batch_monte_carlo_latency
+
+            try:
+                stats = batch_monte_carlo_latency(
+                    system, bound, p, trials, seed
+                )
+            except BatchUnsupported:
+                if engine == "batch":
+                    raise
+            else:
+                record_event(
+                    report,
+                    "batch-engine",
+                    f"{trials} Monte-Carlo trials vectorized in lockstep "
+                    f"(statistics byte-identical to scalar)",
+                )
+                return stats
+        elif engine == "batch":
+            raise SimulationError(
+                "engine='batch' requires numpy and <= 63 operations"
+            )
     if cache is not None:
         from ..perf.cache import simulate_cached
 

@@ -85,12 +85,25 @@ class TestDominance:
 
 
 class TestExactDistributionApi:
-    def test_limit_enforced(self, fig3_result):
+    def test_limit_enforced_for_opaque_callables(self, fig3_result):
         evaluator = DistLatencyEvaluator(fig3_result.bound)
         with pytest.raises(SimulationError, match="enumeration limit"):
             exact_latency_distribution(
-                "DIST", evaluator, ["x"] * 30, 0.5, 15.0
+                "DIST", lambda fast: evaluator(fast), ["x"] * 30, 0.5, 15.0
             )
+
+    def test_structured_evaluator_beyond_limit(self, fig3_result):
+        """The exact engine is feasible past the enumeration horizon."""
+        evaluator = DistLatencyEvaluator(fig3_result.bound)
+        wide = exact_latency_distribution(
+            "DIST", evaluator, ["x"] * 30, 0.5, 15.0
+        )
+        # the extra enumerated names touch no node, so the PMF matches
+        # the all-fast baseline exactly
+        baseline = exact_latency_distribution(
+            "DIST", evaluator, (), 0.5, 15.0
+        )
+        assert wide.pmf == baseline.pmf
 
     def test_bad_p(self, fig3_result):
         evaluator = DistLatencyEvaluator(fig3_result.bound)

@@ -323,7 +323,7 @@ class TestBench:
         )
         assert isinstance(report, BenchReport)
         assert report.data["quick"] is True
-        assert report.data["schema"] == 1
+        assert report.data["schema"] == 2
         assert list(report.data["benchmarks"]) == ["fig3"]
         row = report.data["benchmarks"]["fig3"]
         mc = row["monte_carlo"]
@@ -331,6 +331,11 @@ class TestBench:
         assert mc["serial_s"] > 0 and mc["parallel_s"] > 0
         assert mc["speedup"] == pytest.approx(
             mc["serial_s"] / mc["parallel_s"], rel=1e-2
+        )
+        engine = row["exact_engine"]
+        assert engine["method"] == "frontier-dp"
+        assert engine["mean_cycles"] == pytest.approx(
+            row["exact_expectation"]["value"], abs=1e-6
         )
         assert "repro bench" in report.render()
 

@@ -1,0 +1,153 @@
+"""Byte-identity of the vectorized batch Monte-Carlo engine.
+
+The batch engine replays the scalar trial loop in lockstep across all
+trials at once; its contract is *byte-identical statistics* — same
+per-trial seeds, same draw order, same samples — not statistical
+agreement.  Every test here therefore compares ``==``, never approx.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.engine import derive_seed
+from repro.sim.batch import (
+    BatchSimulator,
+    batch_monte_carlo_latency,
+    batch_supported,
+    numpy_available,
+    shared_engine,
+)
+from repro.sim.runner import monte_carlo_latency
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="batch engine requires numpy"
+)
+
+STYLES = ("dist", "cent-sync", "cent")
+
+
+class TestMtStreams:
+    def test_matches_cpython_random(self):
+        """Vectorized MT19937 == random.Random, stream for stream."""
+        from repro.sim.batch import mt_streams
+
+        seeds = [derive_seed(7, trial) for trial in range(40)]
+        draws = 25
+        matrix = mt_streams(seeds, draws)
+        for row, seed in enumerate(seeds):
+            rng = random.Random(seed)
+            expected = [rng.random() for _ in range(draws)]
+            assert matrix[row].tolist() == expected
+
+    def test_chunked_generation_identical(self):
+        from repro.sim.batch import mt_streams
+
+        seeds = [derive_seed(3, t) for t in range(10)]
+        assert (
+            mt_streams(seeds, 12, chunk=3).tolist()
+            == mt_streams(seeds, 12).tolist()
+        )
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("style", STYLES)
+    def test_statistics_identical_to_scalar(self, fig3_result, style):
+        system = fig3_result.system(style)
+        scalar = monte_carlo_latency(
+            system, fig3_result.bound, 0.7, trials=60, seed=5,
+            engine="scalar",
+        )
+        batched = batch_monte_carlo_latency(
+            system, fig3_result.bound, 0.7, trials=60, seed=5
+        )
+        assert batched == scalar
+
+    @pytest.mark.parametrize("p", [0.0, 0.35, 1.0])
+    def test_identical_across_p(self, diffeq_result, p):
+        system = diffeq_result.distributed_system()
+        scalar = monte_carlo_latency(
+            system, diffeq_result.bound, p, trials=40, seed=9,
+            engine="scalar",
+        )
+        batched = batch_monte_carlo_latency(
+            system, diffeq_result.bound, p, trials=40, seed=9
+        )
+        assert batched == scalar
+
+    def test_auto_engine_dispatches_to_batch(self, fig3_result):
+        """engine='auto' returns the same bytes and records the event."""
+        from repro.runtime.policy import RunReport
+
+        system = fig3_result.distributed_system()
+        report = RunReport()
+        auto = monte_carlo_latency(
+            system, fig3_result.bound, 0.7, trials=30, seed=2,
+            report=report,
+        )
+        scalar = monte_carlo_latency(
+            system, fig3_result.bound, 0.7, trials=30, seed=2,
+            engine="scalar",
+        )
+        assert auto == scalar
+        assert report.count("batch-engine") == 1
+
+
+class TestEngineReuse:
+    def test_memo_persists_across_runs(self, fig3_result):
+        engine = BatchSimulator(
+            fig3_result.distributed_system(), fig3_result.bound
+        )
+        first = engine.statistics(0.7, 30, 1)
+        size_after_first = engine.memo_size
+        second = engine.statistics(0.7, 30, 1)
+        assert first == second
+        assert engine.memo_size == size_after_first
+
+    def test_shared_engine_cached_per_system(self, fig3_result):
+        system = fig3_result.distributed_system()
+        a = shared_engine(system, fig3_result.bound)
+        b = shared_engine(system, fig3_result.bound)
+        assert a is b
+
+
+class TestGating:
+    def test_batch_supported(self, fig3_result):
+        assert batch_supported(
+            fig3_result.distributed_system(), fig3_result.bound
+        )
+
+    def test_invalid_engine_rejected(self, fig3_result):
+        with pytest.raises(SimulationError, match="engine must be"):
+            monte_carlo_latency(
+                fig3_result.distributed_system(),
+                fig3_result.bound,
+                0.7,
+                trials=5,
+                engine="turbo",
+            )
+
+    def test_batch_incompatible_with_supervision(self, fig3_result, tmp_path):
+        with pytest.raises(SimulationError, match="incompatible"):
+            monte_carlo_latency(
+                fig3_result.distributed_system(),
+                fig3_result.bound,
+                0.7,
+                trials=5,
+                engine="batch",
+                checkpoint=str(tmp_path / "ck"),
+            )
+
+    def test_supervised_auto_stays_scalar(self, fig3_result, tmp_path):
+        """Checkpointed runs keep the journaled scalar path — and stay
+        byte-identical to the unsupervised batch run."""
+        system = fig3_result.distributed_system()
+        checkpointed = monte_carlo_latency(
+            system, fig3_result.bound, 0.7, trials=20, seed=4,
+            checkpoint=str(tmp_path / "ck"),
+        )
+        batched = monte_carlo_latency(
+            system, fig3_result.bound, 0.7, trials=20, seed=4
+        )
+        assert checkpointed == batched
