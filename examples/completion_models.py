@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Extension example: completion models beyond i.i.d. Bernoulli.
+
+The paper models every telescopic unit with one shared fast
+probability P.  Real datapaths are messier: multipliers may be far
+more telescopic than adders (their carry-save trees saturate early),
+and operand streams are temporally correlated — a loop feeding similar
+magnitudes back produces *streaks* of fast completions, not coin
+flips.  This script runs one design under all three completion-spec
+kinds, shows that the batch engine's statistics stay byte-identical to
+the scalar simulator under every one of them, and demonstrates where
+the exact analytical engine correctly refuses (temporal correlation
+has no per-assignment product measure).
+
+Run:  python examples/completion_models.py
+"""
+
+from repro.errors import ExactAnalysisError
+from repro.experiments import synthesize_benchmark
+from repro.resources import as_completion_spec
+from repro.sim.runner import monte_carlo_latency
+
+
+def main() -> None:
+    result = synthesize_benchmark("fig3")
+    specs = [
+        # the paper's model: one shared i.i.d. fast probability
+        as_completion_spec(0.7),
+        # heterogeneous: telescopic multipliers hit the fast group 90%
+        # of the time, everything else falls back to the '*' default
+        as_completion_spec("per-unit:mul=0.9,*=0.5"),
+        # temporally correlated: sticky fast/slow streaks per unit,
+        # stationary fast share still exactly 0.7
+        as_completion_spec("markov:0.7,0.5"),
+    ]
+    trials = 2000
+
+    print(f"{result.dfg.name}: mean DIST latency over {trials} trials\n")
+    for spec in specs:
+        system = result.distributed_system()
+        scalar = monte_carlo_latency(
+            system, result.bound, p=spec, trials=trials, engine="scalar"
+        )
+        batch = monte_carlo_latency(
+            system, result.bound, p=spec, trials=trials, engine="batch"
+        )
+        assert batch == scalar, "batch engine must match scalar exactly"
+
+        try:
+            exact = f"{result.exact_latency_analysis(spec).expectation:.4f}"
+        except ExactAnalysisError as error:
+            exact = f"n/a ({error.context()['reason']})"
+        print(
+            f"  {spec.encode():<24} mc {scalar.mean:.4f} "
+            f"(p95 {scalar.p95:.0f})   exact {exact}"
+        )
+
+    print(
+        "\nbatch == scalar byte-identically under every spec  [verified]"
+        "\nthe Markov row shows higher variance at the same mean fast"
+        "\nshare — correlation is what the i.i.d. analysis cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

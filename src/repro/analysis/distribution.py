@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
 from .latency import (
@@ -19,6 +20,9 @@ from .latency import (
     LatencyFn,
     enumerate_assignments,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..resources.spec import CompletionSpec
 
 
 @dataclass(frozen=True)
@@ -101,16 +105,18 @@ def exact_latency_distribution(
     scheme: str,
     latency_fn: LatencyFn,
     tau_ops: Sequence[str],
-    p: float,
+    p: "float | Mapping[str, float]",
     clock_ns: float,
     limit: int = EXACT_ENUMERATION_LIMIT,
 ) -> LatencyDistribution:
-    """Exact latency PMF under i.i.d. Bernoulli(p) fast outcomes.
+    """Exact latency PMF under independent Bernoulli fast outcomes.
 
-    Structured evaluators (``DistLatencyEvaluator``,
-    ``SyncLatencyEvaluator``) dispatch to the exact engine's
-    distribution propagation and are feasible at any ``k``; opaque
-    callables enumerate all ``2**k`` assignments, bounded by ``limit``.
+    ``p`` is one shared fast probability or a per-op mapping (the
+    resolved marginals of a ``per-unit`` completion spec).  Structured
+    evaluators (``DistLatencyEvaluator``, ``SyncLatencyEvaluator``)
+    dispatch to the exact engine's distribution propagation and are
+    feasible at any ``k``; opaque callables enumerate all ``2**k``
+    assignments, bounded by ``limit``.
     """
     from ..errors import ExactAnalysisError
     from .latency import DistLatencyEvaluator, SyncLatencyEvaluator
@@ -137,15 +143,23 @@ def exact_latency_distribution(
         raise SimulationError(
             f"{len(tau_ops)} telescopic ops exceed the enumeration limit"
         )
-    if not 0.0 <= p <= 1.0:
-        raise SimulationError(f"P must be in [0, 1], got {p}")
+    from .latency import _check_p_values, _op_p
+
+    _check_p_values(p)
     mass: dict[int, float] = {}
     for values in enumerate_assignments(tau_ops):
         fast = dict(zip(tau_ops, values))
-        fast_count = sum(values)
-        weight = (p ** fast_count) * (
-            (1.0 - p) ** (len(tau_ops) - fast_count)
-        )
+        if isinstance(p, Mapping):
+            weight = 1.0
+            for op, is_fast in fast.items():
+                p_op = _op_p(p, op)
+                weight *= p_op if is_fast else 1.0 - p_op
+        else:
+            # power form, byte-identical to the historical scalar path
+            fast_count = sum(values)
+            weight = (p ** fast_count) * (
+                (1.0 - p) ** (len(tau_ops) - fast_count)
+            )
         if weight == 0.0:
             continue
         cycles = latency_fn(fast)
@@ -159,10 +173,14 @@ def exact_latency_distribution(
 
 @dataclass(frozen=True)
 class DistributionComparison:
-    """DIST vs CENT-SYNC latency distributions at one P."""
+    """DIST vs CENT-SYNC latency distributions at one completion model.
+
+    ``p`` is the shared float fast probability for Bernoulli runs and
+    the completion spec's description otherwise.
+    """
 
     benchmark: str
-    p: float
+    p: "float | str"
     dist: LatencyDistribution
     sync: LatencyDistribution
 
@@ -196,25 +214,43 @@ class DistributionComparison:
 def compare_distributions(
     bound,
     taubm,
-    p: float = 0.7,
+    p: "float | str | CompletionSpec" = 0.7,
     limit: int = EXACT_ENUMERATION_LIMIT,
 ) -> DistributionComparison:
-    """Exact distribution comparison for one synthesized design."""
+    """Exact distribution comparison for one synthesized design.
+
+    ``p`` accepts any i.i.d. completion spec (float, spec string, or
+    :class:`~repro.resources.spec.CompletionSpec`); correlated specs
+    raise :class:`~repro.errors.ExactAnalysisError` — use the
+    Monte-Carlo engines for those.
+    """
+    from ..resources.spec import BernoulliSpec, as_completion_spec
     from .latency import DistLatencyEvaluator, SyncLatencyEvaluator
 
+    spec = as_completion_spec(p)
     tau_ops = bound.telescopic_ops()
     clock = bound.allocation.clock_period_ns()
+    # Bernoulli keeps the scalar fast path (byte-identical to the
+    # legacy float argument); other specs resolve per-op marginals
+    p_value: "float | Mapping[str, float]" = (
+        spec.p
+        if isinstance(spec, BernoulliSpec)
+        else spec.op_probabilities(bound, tau_ops)
+    )
     dist = exact_latency_distribution(
-        "DIST", DistLatencyEvaluator(bound), tau_ops, p, clock, limit
+        "DIST", DistLatencyEvaluator(bound), tau_ops, p_value, clock, limit
     )
     sync = exact_latency_distribution(
         "CENT-SYNC",
         SyncLatencyEvaluator(taubm),
         tau_ops,
-        p,
+        p_value,
         clock,
         limit,
     )
     return DistributionComparison(
-        benchmark=bound.dfg.name, p=p, dist=dist, sync=sync
+        benchmark=bound.dfg.name,
+        p=spec.p if isinstance(spec, BernoulliSpec) else spec.describe(),
+        dist=dist,
+        sync=sync,
     )

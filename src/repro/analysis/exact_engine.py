@@ -36,7 +36,7 @@ instead of silently degrading.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from typing import TYPE_CHECKING
 
 from ..errors import ExactAnalysisError, SimulationError
@@ -315,9 +315,35 @@ def graph_latency_pmf(
 # -- duration specs from the evaluator's structure -----------------------
 
 
-def _check_p(p: float) -> None:
+def _check_p(p: "float | Mapping[str, float]") -> None:
+    if isinstance(p, Mapping):
+        for op, value in p.items():
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(
+                    f"P[{op}] must be in [0, 1], got {value}"
+                )
+        return
     if not 0.0 <= p <= 1.0:
         raise SimulationError(f"P must be in [0, 1], got {p}")
+
+
+def _p_of(p: "float | Mapping[str, float]", op: str) -> float:
+    """Per-op fast probability: scalar P or a per-op mapping.
+
+    Mappings come from
+    :meth:`~repro.resources.spec.CompletionSpec.op_probabilities` —
+    heterogeneous per-unit specs resolved against the binding.  A
+    missing entry is an error: the caller enumerated ``op`` as
+    telescopic, so its marginal must be defined.
+    """
+    if isinstance(p, Mapping):
+        try:
+            return p[op]
+        except KeyError:
+            raise SimulationError(
+                f"per-op probability mapping is missing TAU op {op!r}"
+            ) from None
+    return p
 
 
 def _normalize_rows(
@@ -339,20 +365,24 @@ def _normalize_rows(
 def _bernoulli_specs(
     evaluator: "DistLatencyEvaluator",
     tau_ops: Sequence[str],
-    p: float,
+    p: "float | Mapping[str, float]",
 ) -> list[DurationSpec]:
     names, _, fast_dur, slow_dur = evaluator.execution_structure()
     enumerated = set(tau_ops)
     specs: list[DurationSpec] = []
     for i, name in enumerate(names):
         fast, slow = fast_dur[i], slow_dur[i]
-        if name not in enumerated or fast == slow or p == 1.0:
+        if name not in enumerated or fast == slow:
             specs.append(((fast, 1.0),))
-        elif p == 0.0:
+            continue
+        p_op = _p_of(p, name)
+        if p_op == 1.0:
+            specs.append(((fast, 1.0),))
+        elif p_op == 0.0:
             specs.append(((slow, 1.0),))
         else:
             specs.append(
-                _normalize_rows(((fast, p), (slow, 1.0 - p)), name)
+                _normalize_rows(((fast, p_op), (slow, 1.0 - p_op)), name)
             )
     return specs
 
@@ -377,18 +407,20 @@ def _categorical_specs(
 def analyze_dist_latency(
     evaluator: "DistLatencyEvaluator",
     tau_ops: Sequence[str],
-    p: float,
+    p: "float | Mapping[str, float]",
     *,
     scheme: str = "DIST",
     clock_ns: float = 1.0,
     cut_limit: int = DEFAULT_CUT_LIMIT,
     state_limit: int = DEFAULT_STATE_LIMIT,
 ) -> ExactLatencyAnalysis:
-    """Exact DIST latency PMF under i.i.d. Bernoulli(p) fast outcomes.
+    """Exact DIST latency PMF under independent Bernoulli fast outcomes.
 
-    Matches ``exact_latency_distribution`` / ``exact_expected_latency``
-    over the same evaluator for any feasible enumeration, without the
-    ``2**k`` sweep.
+    ``p`` is the shared scalar probability or a per-op mapping (from a
+    heterogeneous per-unit completion spec).  Matches
+    ``exact_latency_distribution`` / ``exact_expected_latency`` over the
+    same evaluator for any feasible enumeration, without the ``2**k``
+    sweep.
     """
     _check_p(p)
     specs = _bernoulli_specs(evaluator, tau_ops, p)
@@ -445,7 +477,7 @@ def _convolve(a: dict[int, float], b: DurationSpec) -> dict[int, float]:
 def analyze_sync_latency(
     taubm: "TaubmSchedule",
     tau_ops: Sequence[str],
-    p: float,
+    p: "float | Mapping[str, float]",
     *,
     scheme: str = "CENT-SYNC",
     clock_ns: float = 1.0,
@@ -454,8 +486,9 @@ def analyze_sync_latency(
 
     Each step contributes ``1`` cycle plus an extension cycle iff any of
     its enumerated TAU ops is slow — probability ``1 - p**k`` for ``k``
-    enumerated ops.  Steps partition the operations, so the extensions
-    are independent and the PMF is their convolution.
+    enumerated ops (the product of the per-op probabilities when ``p``
+    is a heterogeneous mapping).  Steps partition the operations, so
+    the extensions are independent and the PMF is their convolution.
     """
     _check_p(p)
     enumerated = set(tau_ops)
@@ -472,9 +505,20 @@ def analyze_sync_latency(
                 f"steps; per-step extensions are not independent"
             )
         seen.update(step.tau_ops)
-        k = len(set(step.tau_ops) & enumerated)
+        step_ops = set(step.tau_ops) & enumerated
+        k = len(step_ops)
         width = max(width, k)
-        fast_all = p**k if step.has_extension and k else 1.0
+        if step.has_extension and k:
+            if isinstance(p, Mapping):
+                fast_all = 1.0
+                for op in sorted(step_ops):
+                    fast_all *= _p_of(p, op)
+            else:
+                # keep the scalar power form: byte-identical to the
+                # historical bare-float path
+                fast_all = p**k
+        else:
+            fast_all = 1.0
         if fast_all >= 1.0:
             spec: DurationSpec = ((1, 1.0),)
         elif fast_all <= 0.0:

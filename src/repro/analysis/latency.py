@@ -190,8 +190,26 @@ def enumerate_assignments(
     return itertools.product((False, True), repeat=len(tau_ops))
 
 
+def _op_p(p: "float | Mapping[str, float]", op: str) -> float:
+    if isinstance(p, Mapping):
+        try:
+            return p[op]
+        except KeyError:
+            raise SimulationError(
+                f"per-op probability mapping is missing TAU op {op!r}"
+            ) from None
+    return p
+
+
+def _check_p_values(p: "float | Mapping[str, float]") -> None:
+    values = p.values() if isinstance(p, Mapping) else (p,)
+    for value in values:
+        if not 0.0 <= value <= 1.0:
+            raise SimulationError(f"P must be in [0, 1], got {value}")
+
+
 def _engine_analysis(
-    latency_fn: LatencyFn, tau_ops: Sequence[str], p: float
+    latency_fn: LatencyFn, tau_ops: Sequence[str], p: "float | Mapping[str, float]"
 ) -> "object | None":
     """Exact-engine analysis for structured evaluators, else ``None``.
 
@@ -213,11 +231,14 @@ def _engine_analysis(
 def exact_expected_latency(
     latency_fn: LatencyFn,
     tau_ops: Sequence[str],
-    p: float,
+    p: "float | Mapping[str, float]",
     limit: int = EXACT_ENUMERATION_LIMIT,
 ) -> float:
     """Exact expectation: distribution propagation, else enumeration.
 
+    ``p`` is the shared scalar probability or a per-op mapping (a
+    heterogeneous per-unit spec resolved through
+    :meth:`~repro.resources.spec.CompletionSpec.op_probabilities`).
     Structured evaluators (:class:`DistLatencyEvaluator`,
     :class:`SyncLatencyEvaluator`) dispatch to the exact engine and are
     feasible at any ``k``; opaque callables fall back to exhaustive
@@ -236,13 +257,21 @@ def exact_expected_latency(
             f"{len(tau_ops)} telescopic ops exceed the exact enumeration "
             f"limit {limit}; use monte_carlo_expected_latency"
         )
-    if not 0.0 <= p <= 1.0:
-        raise SimulationError(f"P must be in [0, 1], got {p}")
+    _check_p_values(p)
     total = 0.0
     for values in enumerate_assignments(tau_ops):
         fast = dict(zip(tau_ops, values))
-        fast_count = sum(values)
-        weight = (p ** fast_count) * ((1.0 - p) ** (len(tau_ops) - fast_count))
+        if isinstance(p, Mapping):
+            weight = 1.0
+            for op, is_fast in zip(tau_ops, values):
+                p_op = _op_p(p, op)
+                weight *= p_op if is_fast else 1.0 - p_op
+        else:
+            # keep the power form: byte-identical to the legacy scalar path
+            fast_count = sum(values)
+            weight = (p ** fast_count) * (
+                (1.0 - p) ** (len(tau_ops) - fast_count)
+            )
         if weight == 0.0:
             continue
         total += weight * latency_fn(fast)
@@ -340,7 +369,7 @@ def exact_expected_latency_categorical(
 def monte_carlo_expected_latency(
     latency_fn: LatencyFn,
     tau_ops: Sequence[str],
-    p: float,
+    p: "float | Mapping[str, float]",
     trials: int = 4000,
     seed: int = 0,
 ) -> float:
@@ -348,7 +377,7 @@ def monte_carlo_expected_latency(
     rng = random.Random(seed)
     total = 0
     for _ in range(trials):
-        fast = {op: rng.random() < p for op in tau_ops}
+        fast = {op: rng.random() < _op_p(p, op) for op in tau_ops}
         total += latency_fn(fast)
     return total / trials
 
@@ -356,7 +385,7 @@ def monte_carlo_expected_latency(
 def expected_latency(
     latency_fn: LatencyFn,
     tau_ops: Sequence[str],
-    p: float,
+    p: "float | Mapping[str, float]",
     exact_limit: int = EXACT_ENUMERATION_LIMIT,
     trials: int = 4000,
     seed: int = 0,

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .faults.campaign import FaultCampaignReport
     from .perf.cache import SimulationCache, SynthesisCache
+    from .resources.spec import CompletionSpec
     from .sim.runner import LatencyStatistics
 
 from .analysis.latency import LatencyComparison, compare_latencies
@@ -75,7 +76,7 @@ class SynthesisResult:
 
     def monte_carlo_latency(
         self,
-        p: float = 0.7,
+        p: "float | str | CompletionSpec" = 0.7,
         trials: int = 200,
         seed: int = 0,
         style: str = "dist",
@@ -88,6 +89,9 @@ class SynthesisResult:
     ) -> "LatencyStatistics":
         """Monte-Carlo first-iteration latency of one controller style.
 
+        ``p`` is a bare fast probability (Bernoulli), a spec string such
+        as ``per-unit:mul=0.9,*=0.5`` or ``markov:0.7,0.5``, or a
+        :class:`~repro.resources.spec.CompletionSpec`.
         ``style`` is ``"dist"``, ``"cent-sync"`` or ``"cent"``;
         ``workers`` fans trials out over the parallel engine
         (:mod:`repro.perf`) with byte-identical statistics, and
@@ -115,7 +119,9 @@ class SynthesisResult:
         )
 
     def exact_latency_analysis(
-        self, p: float = 0.7, style: str = "dist"
+        self,
+        p: "float | str | CompletionSpec" = 0.7,
+        style: str = "dist",
     ):
         """Exact first-iteration latency distribution, analytically.
 
@@ -123,7 +129,12 @@ class SynthesisResult:
         (:mod:`repro.analysis.exact_engine`) instead of ``2**k``
         enumeration: per-node Bernoulli finish-time convolution for the
         distributed scheme, per-step extension convolution for the
-        synchronized baseline.  Returns an
+        synchronized baseline.  ``p`` accepts i.i.d. completion specs
+        (Bernoulli or heterogeneous per-unit); temporally correlated
+        specs (``markov:...``) raise
+        :class:`~repro.errors.ExactAnalysisError` with
+        ``reason="correlated"`` — use the Monte-Carlo engines for
+        those.  Returns an
         :class:`~repro.analysis.exact_engine.ExactLatencyAnalysis`
         carrying the full PMF plus the engine diagnostics (correlation
         cut width, DP state count).  ``style`` is ``"dist"`` or
@@ -135,19 +146,29 @@ class SynthesisResult:
             analyze_sync_latency,
         )
         from .analysis.latency import DistLatencyEvaluator
+        from .resources.spec import BernoulliSpec, as_completion_spec
 
+        spec = as_completion_spec(p)
         clock_ns = self.allocation.clock_period_ns()
         tau_ops = self.bound.telescopic_ops()
+        # plain Bernoulli keeps the scalar fast path (byte-identical to
+        # the legacy float argument); anything else resolves per-op
+        # marginals against the binding — correlated specs raise here
+        p_value: "float | dict[str, float]" = (
+            spec.p
+            if isinstance(spec, BernoulliSpec)
+            else spec.op_probabilities(self.bound, tau_ops)
+        )
         if style == "dist":
             return analyze_dist_latency(
                 DistLatencyEvaluator(self.bound),
                 tau_ops,
-                p,
+                p_value,
                 clock_ns=clock_ns,
             )
         if style == "cent-sync":
             return analyze_sync_latency(
-                self.taubm, tau_ops, p, clock_ns=clock_ns
+                self.taubm, tau_ops, p_value, clock_ns=clock_ns
             )
         raise SimulationError(
             f"unknown analytical style {style!r}; choose 'dist' or "
@@ -171,7 +192,7 @@ class SynthesisResult:
         self,
         trials: int = 100,
         seed: int = 0,
-        p: float = 0.7,
+        p: "float | str | CompletionSpec" = 0.7,
         styles: Sequence[str] = ("dist", "cent-sync"),
         workers: "int | None" = 1,
         policy=None,

@@ -2,6 +2,13 @@
 
 The allocation strings are the paper's Table 2 resource columns, with
 ``T`` marking the telescopic class (multipliers throughout).
+
+Besides the ten fixed benchmarks, :func:`benchmark` materializes *seeded
+generated families* on demand: any ``gen:...`` name (see
+:mod:`repro.benchmarks.generate`) is parsed, canonicalized, built and
+registered transparently, so every consumer of the registry — bench,
+fault campaigns, the lint gate, the fabric CLIs — takes generated
+designs with zero special-casing.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ class BenchmarkEntry:
     factory: Callable[[], DataflowGraph]
     allocation_spec: str
     in_table2: bool
+    generated: bool = False
 
     def dfg(self) -> DataflowGraph:
         return self.factory()
@@ -43,6 +51,12 @@ _REGISTRY: dict[str, BenchmarkEntry] = {}
 
 def _register(entry: BenchmarkEntry) -> None:
     _REGISTRY[entry.name] = entry
+
+
+def register_benchmark(entry: BenchmarkEntry) -> BenchmarkEntry:
+    """Register (or replace) a benchmark entry and return it."""
+    _register(entry)
+    return entry
 
 
 _register(
@@ -138,18 +152,47 @@ _register(
 
 
 def benchmark(name: str) -> BenchmarkEntry:
-    """Look up a registered benchmark."""
+    """Look up a registered benchmark (materializing ``gen:`` families).
+
+    A ``gen:...`` name is parsed, canonicalized (fixed key order,
+    defaults filled in) and its entry built and registered on first use
+    — the same name always denotes the same byte-identical design.
+    """
+    if name.startswith("gen:"):
+        from .generate import family_entry, parse_family
+
+        spec = parse_family(name)
+        entry = _REGISTRY.get(spec.name)
+        if entry is None:
+            entry = register_benchmark(family_entry(spec))
+        return entry
     try:
         return _REGISTRY[name]
     except KeyError:
         raise ReproError(
-            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)} "
+            f"plus generated 'gen:...' families"
         ) from None
 
 
 def all_benchmarks() -> tuple[BenchmarkEntry, ...]:
-    """Every registered benchmark, registration order."""
-    return tuple(_REGISTRY.values())
+    """Every fixed registered benchmark, registration order.
+
+    Generated ``gen:`` families are materialized on demand and
+    deliberately excluded: default sweeps (benchmark listing, lint,
+    committed baselines) cover the fixed set, and generated designs
+    participate only when named explicitly.
+    """
+    return tuple(e for e in _REGISTRY.values() if not e.generated)
+
+
+def core_benchmark_names() -> tuple[str, ...]:
+    """The fixed (non-generated) benchmark names, registration order.
+
+    This is the single source of the default benchmark list — the bench
+    harness and CLI defaults derive from it instead of re-declaring it.
+    """
+    return tuple(e.name for e in _REGISTRY.values() if not e.generated)
 
 
 def table2_benchmarks() -> tuple[BenchmarkEntry, ...]:

@@ -6,6 +6,8 @@ Gives the library's main flows a shell-level surface::
     python -m repro synthesize diffeq
     python -m repro synthesize fir5 --allocation "mul:3T,add:2" --verilog out.v
     python -m repro simulate fir5 --p 0.7 --trace --vcd fir5.vcd
+    python -m repro simulate fir5 --completion per-unit:mul=0.9,*=0.5
+    python -m repro simulate "gen:ops=20,depth=5,seed=2" --completion markov:0.7,0.5
     python -m repro faults diffeq --trials 100 --seed 0 -j 4
     python -m repro faults diffeq --checkpoint-dir ckpt --retries 3
     python -m repro faults diffeq --checkpoint-dir ckpt --fabric --nodes 2
@@ -53,7 +55,11 @@ from .pipeline.registry import (
     SCHEDULERS,
 )
 from .resources.allocation import ResourceAllocation
-from .resources.completion import BernoulliCompletion
+from .resources.spec import (
+    BernoulliSpec,
+    CompletionSpec,
+    parse_completion_spec,
+)
 from .sim.simulator import simulate
 from .sim.vcd import trace_to_vcd
 from .verify.baseline import DEFAULT_BASELINE_DIR
@@ -125,6 +131,18 @@ def _write_resume_manifest(checkpoint_dir: str, argv: "Sequence[str]"):
         )
         + "\n",
     )
+
+
+def _completion_from_args(args) -> CompletionSpec:
+    """The completion spec a command was invoked with.
+
+    ``--completion`` (full spec grammar) wins over the legacy ``--p``
+    float, which keeps denoting a plain Bernoulli model.
+    """
+    completion = getattr(args, "completion", None)
+    if completion:
+        return parse_completion_spec(completion)
+    return BernoulliSpec(args.p)
 
 
 def _benchmark_design(args) -> "tuple":
@@ -203,17 +221,18 @@ def _cmd_synthesize(args) -> int:
 
 def _cmd_simulate(args) -> int:
     __, result = _synthesize_from_args(args)
+    spec = _completion_from_args(args)
     sim = simulate(
         result.distributed_system(),
         result.bound,
-        BernoulliCompletion(args.p),
+        spec.model(),
         seed=args.seed,
         iterations=args.iterations,
         record_trace=args.trace or bool(args.vcd),
     )
     print(
         f"{result.dfg.name}: {sim.cycles} cycles = {sim.latency_ns:.0f} ns "
-        f"at P={args.p} (seed {args.seed})"
+        f"at {spec.describe()} (seed {args.seed})"
     )
     if args.iterations > 1:
         print(
@@ -247,7 +266,7 @@ def _cmd_faults(args) -> int:
         result,
         trials=args.trials,
         seed=args.seed,
-        p=args.p,
+        p=_completion_from_args(args),
         styles=styles,
         benchmark=entry.name,
         workers=args.workers,
@@ -330,6 +349,11 @@ _EXPERIMENT_DRIVERS = {
         frozenset(),
     ),
     "activity": ("repro.experiments.ablations", "run_activity", frozenset()),
+    "completion": (
+        "repro.experiments.ablations",
+        "run_completion_models",
+        frozenset(),
+    ),
     "fig4": ("repro.experiments.figures", "run_fig4", _PARALLEL_KWARGS),
 }
 
@@ -401,6 +425,7 @@ def _cmd_bench(args) -> int:
         trials=args.trials,
         workers=args.workers,
         seed=args.seed,
+        p=_completion_from_args(args),
         cache_dir=args.cache_dir,
         checkpoint_dir=args.checkpoint_dir,
         fabric=_fabric_from_args(args),
@@ -425,7 +450,9 @@ def _cmd_bench(args) -> int:
 
 def _cmd_distribution(args) -> int:
     __, result = _synthesize_from_args(args)
-    comparison = compare_distributions(result.bound, result.taubm, p=args.p)
+    comparison = compare_distributions(
+        result.bound, result.taubm, p=_completion_from_args(args)
+    )
     print(comparison.render())
     return 0
 
@@ -846,6 +873,26 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_completion_arg(p, default_p=0.7):
+        p.add_argument(
+            "--p",
+            type=float,
+            default=default_p,
+            help=(
+                "Bernoulli fast probability "
+                f"(default: {default_p}; see also --completion)"
+            ),
+        )
+        p.add_argument(
+            "--completion",
+            metavar="SPEC",
+            help=(
+                "completion-model spec, overriding --p: 'bernoulli:P', "
+                "'per-unit:UNIT=P,...' (unit name, class, or '*' "
+                "default), or 'markov:P_FAST,STICKINESS'"
+            ),
+        )
+
     def add_design_args(p):
         p.add_argument("benchmark", help="registered benchmark name")
         p.add_argument(
@@ -871,7 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="cycle-accurate simulation of the distributed unit"
     )
     add_design_args(p_sim)
-    p_sim.add_argument("--p", type=float, default=0.7, help="fast probability")
+    add_completion_arg(p_sim)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--iterations", type=int, default=1)
     p_sim.add_argument(
@@ -894,7 +941,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=100, help="faults per style"
     )
     p_flt.add_argument("--seed", type=int, default=0)
-    p_flt.add_argument("--p", type=float, default=0.7)
+    add_completion_arg(p_flt)
     p_flt.add_argument(
         "--style",
         choices=("dist", "cent-sync", "both"),
@@ -938,7 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
         "distribution", help="exact latency distributions (DIST vs SYNC)"
     )
     add_design_args(p_dist)
-    p_dist.add_argument("--p", type=float, default=0.7)
+    add_completion_arg(p_dist)
     p_dist.set_defaults(func=_cmd_distribution)
 
     p_exp = sub.add_parser(
@@ -976,7 +1023,10 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="benchmark",
         default=None,
-        help="registered benchmark names (default: all ten)",
+        help=(
+            "registered benchmark names, including generated "
+            "'gen:...' families (default: all ten fixed designs)"
+        ),
     )
     p_bench.add_argument(
         "--compare",
@@ -1009,6 +1059,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=400, help="Monte-Carlo trials"
     )
     p_bench.add_argument("--seed", type=int, default=0)
+    add_completion_arg(p_bench)
     p_bench.add_argument(
         "-o", "--output", help="write the JSON report here (BENCH_core.json)"
     )

@@ -131,14 +131,20 @@ class ExactAnalysisError(SimulationError):
         *,
         cut_width: "int | None" = None,
         limit: "int | None" = None,
+        reason: "str | None" = None,
     ) -> None:
         super().__init__(message)
         self.cut_width = cut_width
         self.limit = limit
+        self.reason = reason
 
     def context(self) -> "dict[str, object]":
         """JSON-serializable description of the infeasibility."""
-        return {"cut_width": self.cut_width, "limit": self.limit}
+        return {
+            "cut_width": self.cut_width,
+            "limit": self.limit,
+            "reason": self.reason,
+        }
 
 
 class VerificationError(SimulationError):

@@ -850,3 +850,80 @@ def run_activity(
         dist_cycles_per_iteration=dist.throughput_cycles(),
         sync_cycles_per_iteration=sync.throughput_cycles(),
     )
+
+
+# ----------------------------------------------------------------------
+# X13 — completion-model comparison (beyond i.i.d. Bernoulli)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompletionModelsResult:
+    """Latency of DIST vs CENT-SYNC under different completion models."""
+
+    benchmark: str
+    trials: int
+    seed: int
+    #: (spec encoding, DIST MC mean, CENT-SYNC MC mean, exact DIST
+    #: mean or None when the spec has no i.i.d. analytical model)
+    rows: tuple[tuple[str, float, float, "float | None"], ...]
+
+    def render(self) -> str:
+        table = [
+            [
+                encoding,
+                f"{dist:.3f}",
+                f"{sync:.3f}",
+                "-" if exact is None else f"{exact:.3f}",
+            ]
+            for encoding, dist, sync, exact in self.rows
+        ]
+        return (
+            f"X13 — completion models on {self.benchmark} "
+            f"(mean cycles, {self.trials} trials, seed {self.seed})\n"
+            + render_table(
+                ["completion", "DIST", "CENT-SYNC", "exact DIST"], table
+            )
+        )
+
+
+def run_completion_models(
+    benchmark_name: str = "fig3",
+    specs: Sequence[str] = (
+        "bernoulli:0.7",
+        "per-unit:mul=0.9,*=0.5",
+        "markov:0.7,0.5",
+    ),
+    trials: int = 300,
+    seed: int = 0,
+) -> CompletionModelsResult:
+    """Compare the controller styles across completion models.
+
+    The Bernoulli row reproduces the paper's setup; the per-unit row
+    models a datapath whose multipliers are more telescopic than the
+    rest; the Markov row adds operand temporal correlation (sticky
+    fast/slow streaks), which no i.i.d. analysis captures — its exact
+    column is blank and only the Monte-Carlo engines apply.
+    """
+    from ..errors import ExactAnalysisError
+    from ..resources.spec import as_completion_spec
+
+    res = synthesize_benchmark(benchmark_name)
+    rows = []
+    for text in specs:
+        spec = as_completion_spec(text)
+        dist = res.monte_carlo_latency(
+            p=spec, trials=trials, seed=seed, style="dist"
+        ).mean
+        sync = res.monte_carlo_latency(
+            p=spec, trials=trials, seed=seed, style="cent-sync"
+        ).mean
+        try:
+            exact = res.exact_latency_analysis(spec).expectation
+        except ExactAnalysisError:
+            exact = None
+        rows.append((spec.encode(), dist, sync, exact))
+    return CompletionModelsResult(
+        benchmark=benchmark_name,
+        trials=trials,
+        seed=seed,
+        rows=tuple(rows),
+    )

@@ -36,6 +36,7 @@ from ..errors import (
 )
 from ..fsm.signals import unit_of_completion
 from ..resources.completion import BernoulliCompletion, CompletionModel
+from ..resources.spec import BernoulliSpec, CompletionSpec, as_completion_spec
 from ..sim.simulator import MonitorConfig, simulate
 from .models import (
     DelayedCompletionFault,
@@ -102,7 +103,9 @@ class FaultCampaignReport:
     benchmark: str
     trials: int
     seed: int
-    p: float
+    #: the fast probability for plain Bernoulli campaigns (the legacy
+    #: JSON shape), or the encoded completion spec for richer models
+    p: "float | str"
     records: tuple[FaultTrialRecord, ...]
 
     # -- queries ---------------------------------------------------------
@@ -402,7 +405,7 @@ def _classify(exc: SimulationError) -> "tuple[str, str | None]":
 def _run_trial(
     result,
     seed: int,
-    p: float,
+    spec: CompletionSpec,
     inputs: Mapping[str, int],
     task: tuple[str, int, int],
 ) -> FaultTrialRecord:
@@ -426,14 +429,14 @@ def _run_trial(
     clean = simulate(
         _system_for(result, style),
         bound,
-        BernoulliCompletion(p),
+        spec.model(),
         seed=sim_seed,
         inputs=inputs,
     )
     system = _system_for(result, style)
     if fault.injector is not None:
         system = inject(system, fault.injector)
-    completion: CompletionModel = BernoulliCompletion(p)
+    completion: CompletionModel = spec.model()
     if fault.wrap_completion is not None:
         completion = fault.wrap_completion(completion)
     outcome: str
@@ -480,7 +483,7 @@ def run_campaign(
     *,
     trials: int = 100,
     seed: int = 0,
-    p: float = 0.7,
+    p: "float | str | CompletionSpec" = 0.7,
     styles: Sequence[str] = STYLES,
     benchmark: "str | None" = None,
     workers: "int | None" = 1,
@@ -519,6 +522,7 @@ def run_campaign(
 
     if trials < 1:
         raise SimulationError("a fault campaign needs >= 1 trial")
+    spec = as_completion_spec(p)
     bound = result.bound
     name = benchmark if benchmark is not None else bound.dfg.name
     inputs = _deterministic_inputs(bound)
@@ -527,23 +531,24 @@ def run_campaign(
         calibration = simulate(
             _system_for(result, style),
             bound,
-            BernoulliCompletion(p),
+            spec.model(),
             seed=seed,
             inputs=inputs,
         )
         span = max(calibration.cycles, 4)
         tasks.extend((style, span, trial) for trial in range(trials))
     # the run key names everything the records depend on (and not the
-    # worker count: serial and parallel runs share a journal)
+    # worker count: serial and parallel runs share a journal); plain
+    # Bernoulli keeps the legacy p={p!r} fragment so old journals resume
     run_key = (
         f"fault-campaign|{design_fingerprint(bound)}|{name}"
-        f"|trials={trials}|seed={seed}|p={p!r}"
+        f"|trials={trials}|seed={seed}|{spec.key_fragment()}"
         f"|styles={','.join(styles)}"
         if checkpoint is not None
         else ""
     )
     records = checkpointed_map(
-        partial(_run_trial, result, seed, p, inputs),
+        partial(_run_trial, result, seed, spec, inputs),
         tasks,
         run_key=run_key,
         checkpoint=checkpoint,
@@ -556,7 +561,7 @@ def run_campaign(
         benchmark=name,
         trials=trials,
         seed=seed,
-        p=p,
+        p=spec.p if isinstance(spec, BernoulliSpec) else spec.encode(),
         records=tuple(records),
     )
 
@@ -566,7 +571,7 @@ def run_benchmark_campaign(
     *,
     trials: int = 100,
     seed: int = 0,
-    p: float = 0.7,
+    p: "float | str | CompletionSpec" = 0.7,
     styles: Sequence[str] = STYLES,
     allocation: "str | None" = None,
     workers: "int | None" = 1,

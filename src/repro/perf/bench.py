@@ -23,23 +23,15 @@ import time
 from dataclasses import dataclass
 from collections.abc import Callable, Sequence
 
+from ..benchmarks.registry import core_benchmark_names
+from ..resources.spec import BernoulliSpec, CompletionSpec, as_completion_spec
 from .engine import resolve_workers
 
-#: benchmarks the core bench sweeps — every registered design; the
+#: benchmarks the core bench sweeps — every fixed registered design,
+#: straight from the registry (the single source of the name list); the
 #: AR-lattice row is the heaviest legacy enumeration (16 TAU ops,
 #: 65536 assignments) and the fdct/ewf rows the largest graphs
-CORE_BENCHMARKS = (
-    "fir3",
-    "fir5",
-    "iir2",
-    "iir3",
-    "diffeq",
-    "ar_lattice",
-    "fig2",
-    "fig3",
-    "fdct",
-    "ewf",
-)
+CORE_BENCHMARKS = core_benchmark_names()
 
 #: extra Monte-Carlo trials the vectorized engine is timed over — the
 #: lockstep engine's throughput only shows at batch scale
@@ -123,7 +115,7 @@ def _bench_row(
     trials: int,
     workers: int,
     seed: int,
-    p: float,
+    p: "float | str | CompletionSpec",
     repeats: int,
     cache_dir: "str | None",
     name: str,
@@ -139,11 +131,11 @@ def _bench_row(
     from ..api import synthesize
     from ..benchmarks.registry import benchmark
     from ..perf.cache import SynthesisCache
-    from ..resources.completion import BernoulliCompletion
     from ..sim.batch import BatchSimulator, batch_supported
     from ..sim.runner import monte_carlo_latency
     from ..sim.simulator import simulate
 
+    spec = as_completion_spec(p)
     cache = SynthesisCache(cache_dir) if cache_dir else None
     entry = benchmark(name)
     dfg = entry.dfg()
@@ -152,21 +144,22 @@ def _bench_row(
         lambda: synthesize(dfg, allocation, cache=cache), repeats
     )
     system = result.distributed_system()
-    model = BernoulliCompletion(p)
+    # a fresh model per call: stateful models (Markov) must not carry
+    # history from one timing repeat into the next
     sim_s, sim = _time_call(
-        lambda: simulate(system, result.bound, model, seed=seed),
+        lambda: simulate(system, result.bound, spec.model(), seed=seed),
         max(repeats, 3),
     )
     serial_s, serial_stats = _time_call(
         lambda: monte_carlo_latency(
-            system, result.bound, p=p, trials=trials, seed=seed,
+            system, result.bound, p=spec, trials=trials, seed=seed,
             workers=1, engine="scalar",
         ),
         repeats,
     )
     parallel_s, parallel_stats = _time_call(
         lambda: monte_carlo_latency(
-            system, result.bound, p=p, trials=trials, seed=seed,
+            system, result.bound, p=spec, trials=trials, seed=seed,
             workers=workers, engine="scalar",
         ),
         repeats,
@@ -180,6 +173,7 @@ def _bench_row(
         "simulate_s": _round(sim_s),
         "simulated_cycles": sim.cycles,
         "monte_carlo": {
+            "completion": spec.encode(),
             "trials": trials,
             "serial_s": _round(serial_s),
             "parallel_s": _round(parallel_s),
@@ -190,39 +184,50 @@ def _bench_row(
     }
     tau_ops = result.bound.telescopic_ops()
     evaluator = DistLatencyEvaluator(result.bound)
-    exact_s, value = _time_call(
-        lambda: exact_expected_latency(evaluator, tau_ops, p),
-        repeats,
-    )
-    row["exact_expectation"] = {
-        "seconds": _round(exact_s),
-        "value": round(float(value), 6),
-        "assignments": 2 ** len(tau_ops),
-    }
-    analysis_s, analysis = _time_call(
-        lambda: analyze_dist_latency(evaluator, tau_ops, p), repeats
-    )
-    row["exact_engine"] = {
-        "seconds": _round(analysis_s),
-        "method": analysis.method,
-        "cut_width": analysis.cut_width,
-        "states": analysis.states,
-        "components": analysis.components,
-        "mean_cycles": round(analysis.expectation, 6),
-        "std_cycles": round(analysis.std, 6),
-        "p99_cycles": analysis.quantile(0.99),
-    }
+    if not spec.correlated:
+        # plain Bernoulli keeps the scalar fast path (byte-identical to
+        # the legacy float argument); per-unit resolves op marginals;
+        # correlated specs have no i.i.d. analytical model, so the
+        # exact sections are omitted from the row entirely
+        p_value: "float | dict[str, float]" = (
+            spec.p
+            if isinstance(spec, BernoulliSpec)
+            else spec.op_probabilities(result.bound, tau_ops)
+        )
+        exact_s, value = _time_call(
+            lambda: exact_expected_latency(evaluator, tau_ops, p_value),
+            repeats,
+        )
+        row["exact_expectation"] = {
+            "seconds": _round(exact_s),
+            "value": round(float(value), 6),
+            "assignments": 2 ** len(tau_ops),
+        }
+        analysis_s, analysis = _time_call(
+            lambda: analyze_dist_latency(evaluator, tau_ops, p_value),
+            repeats,
+        )
+        row["exact_engine"] = {
+            "seconds": _round(analysis_s),
+            "method": analysis.method,
+            "cut_width": analysis.cut_width,
+            "states": analysis.states,
+            "components": analysis.components,
+            "mean_cycles": round(analysis.expectation, 6),
+            "std_cycles": round(analysis.std, 6),
+            "p99_cycles": analysis.quantile(0.99),
+        }
     if batch_supported(system, result.bound):
         batch_engine = BatchSimulator(system, result.bound)
         batch_trials = trials * BATCH_TRIALS_FACTOR
         # one cold run grows the transition memo; the timed runs then
         # measure the steady-state (campaign) throughput
-        batch_engine.latencies(p, batch_trials, seed)
+        batch_engine.latencies(spec, batch_trials, seed)
         batch_s, batch_stats = _time_call(
-            lambda: batch_engine.statistics(p, batch_trials, seed),
+            lambda: batch_engine.statistics(spec, batch_trials, seed),
             repeats,
         )
-        check = batch_engine.statistics(p, trials, seed)
+        check = batch_engine.statistics(spec, trials, seed)
         if check != serial_stats:  # pragma: no cover - invariant
             raise AssertionError(
                 f"batch Monte-Carlo diverged from scalar on {name!r}"
@@ -230,6 +235,7 @@ def _bench_row(
         rate = batch_trials / max(batch_s, 1e-9)
         serial_rate = trials / max(serial_s, 1e-9)
         row["batch_mc"] = {
+            "completion": spec.encode(),
             "trials": batch_trials,
             "seconds": _round(batch_s),
             "trials_per_s": round(rate, 1),
@@ -247,7 +253,7 @@ def run_bench(
     trials: int = 400,
     workers: "int | None" = 4,
     seed: int = 0,
-    p: float = 0.7,
+    p: "float | str | CompletionSpec" = 0.7,
     repeats: int = 3,
     cache_dir: "str | None" = None,
     checkpoint_dir: "str | None" = None,
@@ -274,18 +280,25 @@ def run_bench(
     requires ``checkpoint_dir``) leases whole rows to distributed
     worker nodes; timings are then measured on the node that computed
     the row, and all *result* values stay deterministic.
+
+    ``p`` accepts any completion spec (float, spec string such as
+    ``per-unit:mul=0.9,*=0.5`` or ``markov:0.7,0.5``, or a
+    :class:`~repro.resources.spec.CompletionSpec`); correlated specs
+    simply omit the analytical sections from each row.
     """
     from functools import partial
 
     from ..runtime.journal import checkpointed_map
 
+    spec = as_completion_spec(p)
     if quick:
         trials = min(trials, 60)
         repeats = 1
     workers = resolve_workers(workers)
     names = list(benchmarks)
     run_key = (
-        f"bench|quick={quick}|trials={trials}|seed={seed}|p={p!r}"
+        f"bench|quick={quick}|trials={trials}|seed={seed}"
+        f"|{spec.key_fragment()}"
         f"|repeats={repeats}|benchmarks={','.join(names)}"
         if checkpoint_dir is not None
         else ""
@@ -294,7 +307,7 @@ def run_bench(
     # column with ``workers``); the fabric distributes whole rows
     row_list = checkpointed_map(
         partial(
-            _bench_row, quick, trials, workers, seed, p, repeats,
+            _bench_row, quick, trials, workers, seed, spec, repeats,
             cache_dir,
         ),
         names,
@@ -307,12 +320,15 @@ def run_bench(
     )
     rows = dict(zip(names, row_list))
     data = {
-        "schema": 2,
+        "schema": 3,
         "quick": quick,
         "trials": trials,
         "workers": workers,
         "seed": seed,
-        "p": p,
+        # ``p`` stays the plain float for Bernoulli runs so schema-2
+        # baselines diff cleanly; richer specs store their encoding
+        "p": spec.p if isinstance(spec, BernoulliSpec) else spec.encode(),
+        "completion": spec.encode(),
         "environment": {
             "python": platform.python_version(),
             "implementation": sys.implementation.name,
@@ -422,15 +438,36 @@ class BenchComparison:
         return "\n".join(lines)
 
 
+def _report_completion(report: dict) -> "str | None":
+    """The report's encoded completion spec, schema-2 compatible.
+
+    Schema-3 reports carry an explicit ``completion`` field; earlier
+    reports only stored a float ``p``, which denoted a Bernoulli model.
+    """
+    completion = report.get("completion")
+    if completion is not None:
+        return completion
+    p = report.get("p")
+    if isinstance(p, bool) or p is None:
+        return None
+    if isinstance(p, (int, float)):
+        return f"bernoulli:{float(p)!r}"
+    return str(p)
+
+
 def _value_drifts(old: dict, new: dict) -> "list[str]":
     """Deterministic result values that changed between two reports.
 
     Timing noise is expected; *result* drift (exact expectations,
-    Monte-Carlo means at identical trials/seed/p) means the engines
-    changed behaviour and always fails the gate.
+    Monte-Carlo means at identical trials/seed/completion model) means
+    the engines changed behaviour and always fails the gate.  Reports
+    with different completion specs only diff on timings.
     """
     drifts: list[str] = []
-    same_p = old.get("p") == new.get("p")
+    old_completion = _report_completion(old)
+    same_p = old_completion is not None and (
+        old_completion == _report_completion(new)
+    )
     same_mc = same_p and (
         old.get("trials") == new.get("trials")
         and old.get("seed") == new.get("seed")

@@ -228,6 +228,10 @@ def model_fingerprint(model: "CompletionModel") -> str:
 def _model_payload(model: "CompletionModel") -> dict:
     payload: dict = {"type": type(model).__qualname__}
     for name, value in sorted(vars(model).items()):
+        if name.startswith("_"):
+            # Mutable run state (trace cursors, Markov history) must not
+            # leak into cache identity.
+            continue
         if isinstance(value, (bool, int, float, str)) or value is None:
             payload[name] = value
         elif isinstance(value, (tuple, list)):

@@ -98,6 +98,108 @@ class BernoulliCompletion(CompletionModel):
         return rng.random() < self.p
 
 
+def resolve_unit_probability(
+    table: Mapping[str, float], unit: ArithmeticUnit
+) -> float:
+    """Fast probability for ``unit`` from a per-unit table.
+
+    Lookup order: exact unit name (``TM1``), resource-class value
+    (``mul``), then the ``*`` default.  Shared by
+    :class:`PerUnitCompletion` and the per-unit spec so the scalar,
+    batch and exact engines resolve identically.
+    """
+    for key in (unit.name, unit.resource_class.value, "*"):
+        if key in table:
+            return table[key]
+    raise SimulationError(
+        f"no completion probability for unit {unit.name!r} (class "
+        f"{unit.resource_class.value!r}); add a '*' default entry"
+    )
+
+
+def markov_transition_probabilities(
+    p_fast: float, stickiness: float
+) -> tuple[float, float]:
+    """``(p_after_fast, p_after_slow)`` of the sticky completion chain.
+
+    One shared expression so the scalar model and the vectorized batch
+    engine threshold with bit-identical floats.  The chain's stationary
+    fast probability is exactly ``p_fast``.
+    """
+    return (
+        p_fast + stickiness * (1.0 - p_fast),
+        (1.0 - stickiness) * p_fast,
+    )
+
+
+@dataclass
+class PerUnitCompletion(CompletionModel):
+    """Heterogeneous i.i.d. mix: each unit draws with its own ``p``.
+
+    ``probabilities`` maps unit names, resource-class values or the
+    ``*`` default to fast probabilities (see
+    :func:`resolve_unit_probability`).
+    """
+
+    probabilities: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        for key, p in self.probabilities.items():
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(
+                    f"P[{key}] must be in [0, 1], got {p}"
+                )
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        return rng.random() < resolve_unit_probability(
+            self.probabilities, unit
+        )
+
+
+@dataclass
+class MarkovCompletion(CompletionModel):
+    """Temporally correlated completion: a per-unit two-state chain.
+
+    The first execution on a unit is fast with probability ``p_fast``;
+    each later execution is fast with the sticky transition
+    probabilities of :func:`markov_transition_probabilities`, keyed by
+    that unit's previous outcome.  Exactly one ``rng.random()`` draw
+    per execution, so the batch engine replays the stream bit for bit.
+    """
+
+    p_fast: float
+    stickiness: float
+    _last: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_fast <= 1.0:
+            raise SimulationError(
+                f"p_fast must be in [0, 1], got {self.p_fast}"
+            )
+        if not 0.0 <= self.stickiness < 1.0:
+            raise SimulationError(
+                f"stickiness must be in [0, 1), got {self.stickiness}"
+            )
+
+    def is_fast(self, op_name, unit, operands, rng) -> bool:
+        after_fast, after_slow = markov_transition_probabilities(
+            self.p_fast, self.stickiness
+        )
+        last = self._last.get(unit.name)
+        if last is None:
+            threshold = self.p_fast
+        elif last:
+            threshold = after_fast
+        else:
+            threshold = after_slow
+        fast = rng.random() < threshold
+        self._last[unit.name] = fast
+        return fast
+
+    def reset(self) -> None:
+        self._last.clear()
+
+
 @dataclass
 class AllFastCompletion(CompletionModel):
     """Best case: every operand pair is in the fast group."""

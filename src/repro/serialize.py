@@ -336,6 +336,26 @@ def _check_format(data: Mapping[str, Any], what: str) -> None:
 
 
 # ----------------------------------------------------------------------
+# Completion specs
+# ----------------------------------------------------------------------
+def completion_spec_to_dict(spec) -> dict[str, Any]:
+    """Serialize a :class:`~repro.resources.spec.CompletionSpec`."""
+    data: dict[str, Any] = {"format": FORMAT_VERSION}
+    data.update(spec.to_dict())
+    return data
+
+
+def completion_spec_from_dict(data: Mapping[str, Any]):
+    """Rebuild a spec written by :func:`completion_spec_to_dict`."""
+    from .resources.spec import spec_from_dict
+
+    _check_format(data, "completion spec")
+    return spec_from_dict(
+        {key: value for key, value in data.items() if key != "format"}
+    )
+
+
+# ----------------------------------------------------------------------
 # Whole designs
 # ----------------------------------------------------------------------
 def design_to_dict(result) -> dict[str, Any]:

@@ -28,9 +28,12 @@ with trial-major numpy arrays:
 
 Statistics are byte-identical to ``monte_carlo_latency``'s scalar path
 (pinned by ``tests/test_sim_batch.py`` across all three controller
-styles); the engine refuses — rather than approximates — anything it
-cannot reproduce exactly (non-Bernoulli models, >63 ops, missing
-numpy).
+styles) for every :class:`~repro.resources.spec.CompletionSpec` kind —
+Bernoulli thresholds the shared draw stream with one constant,
+per-unit mixes with a per-op threshold array, and Markov specs with a
+compacted per-trial per-unit state matrix that replays the scalar
+chain exactly.  The engine refuses — rather than approximates —
+anything it cannot reproduce exactly (>63 ops, missing numpy).
 """
 
 from __future__ import annotations
@@ -39,6 +42,8 @@ from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 from ..errors import SimulationError
+from ..resources.completion import markov_transition_probabilities
+from ..resources.spec import CompletionSpec, MarkovSpec, as_completion_spec
 from .runner import LatencyStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -319,15 +324,18 @@ class BatchSimulator:
 
     # -- simulation ------------------------------------------------------
 
-    def latencies(self, p: float, trials: int, seed: int = 0):
+    def latencies(
+        self, p: "float | str | CompletionSpec", trials: int, seed: int = 0
+    ):
         """First-iteration latencies (cycles) for all trials.
 
-        Entry ``t`` equals ``simulate(system, bound,
-        BernoulliCompletion(p), seed=derive_seed(seed, trial=t)).cycles``
-        exactly.
+        Entry ``t`` equals ``simulate(system, bound, spec.model(),
+        seed=derive_seed(seed, trial=t)).cycles`` exactly, for any
+        completion spec (Bernoulli, per-unit, Markov).
         """
         from ..perf.engine import derive_seed
 
+        spec = as_completion_spec(p)
         if trials <= 0:
             raise SimulationError("batch Monte-Carlo needs >= 1 trial")
         seeds = _np.fromiter(
@@ -337,9 +345,9 @@ class BatchSimulator:
         )
         draws = self.initial_draws
         while True:
-            bits = mt_streams(seeds, draws) < p
+            u = mt_streams(seeds, draws)
             try:
-                return self._run(bits)
+                return self._run(u, spec)
             except _DrawOverflow:
                 if draws >= _MAX_DRAWS:
                     raise BatchUnsupported(
@@ -348,25 +356,45 @@ class BatchSimulator:
                 draws = min(2 * draws, _MAX_DRAWS)
 
     def statistics(
-        self, p: float, trials: int, seed: int = 0
+        self, p: "float | str | CompletionSpec", trials: int, seed: int = 0
     ) -> LatencyStatistics:
         """``LatencyStatistics`` byte-identical to the scalar path."""
         return LatencyStatistics.from_samples(
             self.latencies(p, trials, seed).tolist()
         )
 
-    def _run(self, bits):
-        trials = bits.shape[0]
-        width = bits.shape[1]
+    def _op_thresholds(self, spec: CompletionSpec):
+        """Per-op fast thresholds for i.i.d. specs (telescopic ops only)."""
+        thresholds = _np.zeros(self.N)
+        for i, op in enumerate(self.ops):
+            if self.is_tele[i]:
+                thresholds[i] = spec.probability_for(self.bound.unit_of(op))
+        return thresholds
+
+    def _run(self, u, spec: CompletionSpec):
+        trials = u.shape[0]
+        width = u.shape[1]
         unit_arr, is_tele = self.unit_arr, self.is_tele
         fast_arr, slow_arr = self.fast_arr, self.slow_arr
+        if isinstance(spec, MarkovSpec):
+            thresholds = None
+            first_threshold = spec.p_fast
+            after_fast, after_slow = markov_transition_probabilities(
+                spec.p_fast, spec.stickiness
+            )
+            # -1 = no history yet, 0 = last draw slow, 1 = last draw fast;
+            # compacted alongside the other live-trial arrays
+            markov_state = _np.full((trials, self.U), -1, dtype=_np.int8)
+        else:
+            thresholds = self._op_thresholds(spec)
+            markov_state = None
         remaining = _np.zeros((trials, self.U), dtype=_np.int16)
         executing = _np.zeros((trials, self.U), dtype=bool)
         config = _np.full(trials, self.init_config, dtype=_np.int64)
         draw_count = _np.zeros(trials, dtype=_np.int64)
         done_mask = _np.zeros(trials, dtype=_np.int64)
         latency = _np.full(trials, -1, dtype=_np.int64)
-        # live-trial view; ``bits``/``draw_count`` index by original
+        # live-trial view; ``u``/``draw_count`` index by original
         # trial id and are never compacted
         orig = _np.arange(trials)
 
@@ -376,8 +404,18 @@ class BatchSimulator:
                 counts = draw_count[trial_ids]
                 if counts.size and int(counts.max()) >= width:
                     raise _DrawOverflow
-                fast_bit = bits[trial_ids, counts]
+                draw = u[trial_ids, counts]
                 draw_count[trial_ids] = counts + 1
+                if markov_state is None:
+                    fast_bit = draw < thresholds[op]
+                else:
+                    state = markov_state[rows, unit]
+                    fast_bit = draw < _np.where(
+                        state < 0,
+                        first_threshold,
+                        _np.where(state > 0, after_fast, after_slow),
+                    )
+                    markov_state[rows, unit] = fast_bit
                 remaining[rows, unit] = _np.where(
                     fast_bit, fast_arr[op], slow_arr[op]
                 ).astype(_np.int16) + _np.int16(extra)
@@ -439,13 +477,15 @@ class BatchSimulator:
                 executing = executing[live]
                 config = config[live]
                 done_mask = done_mask[live]
+                if markov_state is not None:
+                    markov_state = markov_state[live]
         return latency
 
 
 def batch_monte_carlo_latency(
     system: "ControllerSystem",
     bound: "BoundDataflowGraph",
-    p: float,
+    p: "float | str | CompletionSpec",
     trials: int = 200,
     seed: int = 0,
     *,

@@ -12,9 +12,9 @@ from ..binding.binder import BoundDataflowGraph
 from ..errors import SimulationError
 from ..resources.completion import (
     AssignmentCompletion,
-    BernoulliCompletion,
     CompletionModel,
 )
+from ..resources.spec import CompletionSpec, as_completion_spec
 from .controllers import ControllerSystem
 from .simulator import SimulationResult, simulate
 
@@ -90,7 +90,7 @@ class LatencyStatistics:
 def _latency_trial(
     system: ControllerSystem,
     bound: BoundDataflowGraph,
-    p: float,
+    spec: CompletionSpec,
     base_seed: int,
     trial: int,
 ) -> int:
@@ -100,7 +100,7 @@ def _latency_trial(
     result = simulate(
         system,
         bound,
-        BernoulliCompletion(p),
+        spec.model(),
         seed=derive_seed(base_seed, trial),
     )
     return result.cycles
@@ -109,7 +109,7 @@ def _latency_trial(
 def monte_carlo_latency(
     system: ControllerSystem,
     bound: BoundDataflowGraph,
-    p: float,
+    p: "float | str | CompletionSpec",
     trials: int = 200,
     seed: int = 0,
     *,
@@ -121,7 +121,12 @@ def monte_carlo_latency(
     fabric=None,
     engine: str = "auto",
 ) -> LatencyStatistics:
-    """Simulate ``trials`` runs under Bernoulli(p) completion.
+    """Simulate ``trials`` runs under the completion spec ``p``.
+
+    ``p`` accepts the historical bare probability (Bernoulli), a spec
+    string in the ``--completion`` grammar, or a
+    :class:`~repro.resources.spec.CompletionSpec`; see
+    :mod:`repro.resources.spec`.
 
     Per-trial seeds are derived from ``(seed, trial)`` with a stable
     hash (:func:`~repro.perf.engine.derive_seed`), so ``workers=N``
@@ -148,6 +153,7 @@ def monte_carlo_latency(
     """
     from ..perf.engine import derive_seed
 
+    spec = as_completion_spec(p)
     if engine not in ("auto", "scalar", "batch"):
         raise SimulationError(
             f"engine must be 'auto', 'scalar' or 'batch', got {engine!r}"
@@ -173,7 +179,7 @@ def monte_carlo_latency(
 
             try:
                 stats = batch_monte_carlo_latency(
-                    system, bound, p, trials, seed
+                    system, bound, spec, trials, seed
                 )
             except BatchUnsupported:
                 if engine == "batch":
@@ -193,7 +199,7 @@ def monte_carlo_latency(
     if cache is not None:
         from ..perf.cache import simulate_cached
 
-        model = BernoulliCompletion(p)
+        model = spec.model()
         samples = [
             simulate_cached(
                 system,
@@ -210,12 +216,12 @@ def monte_carlo_latency(
     # fingerprinting costs a serialization pass; only pay it when a
     # journal actually needs the run key
     run_key = (
-        _monte_carlo_run_key(system, bound, p, trials, seed)
+        _monte_carlo_run_key(system, bound, spec, trials, seed)
         if checkpoint is not None
         else ""
     )
     samples = checkpointed_map(
-        partial(_latency_trial, system, bound, p, seed),
+        partial(_latency_trial, system, bound, spec, seed),
         range(trials),
         run_key=run_key,
         checkpoint=checkpoint,
@@ -230,21 +236,24 @@ def monte_carlo_latency(
 def _monte_carlo_run_key(
     system: ControllerSystem,
     bound: BoundDataflowGraph,
-    p: float,
+    spec: CompletionSpec,
     trials: int,
     seed: int,
 ) -> str:
     """Everything that determines a Monte-Carlo sweep's samples.
 
     Deliberately excludes ``workers`` — parallel and serial runs are
-    byte-identical, so either may resume the other's journal.
+    byte-identical, so either may resume the other's journal.  The
+    spec's :meth:`~repro.resources.spec.CompletionSpec.key_fragment`
+    renders plain Bernoulli as the legacy ``p={p!r}`` fragment, so
+    journals written before completion specs existed resume warm.
     """
     from ..perf.cache import design_fingerprint, system_fingerprint
 
     return (
         f"monte-carlo|{design_fingerprint(bound)}"
-        f"|{system_fingerprint(system)}|p={p!r}|trials={trials}"
-        f"|seed={seed}"
+        f"|{system_fingerprint(system)}|{spec.key_fragment()}"
+        f"|trials={trials}|seed={seed}"
     )
 
 

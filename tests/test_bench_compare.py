@@ -164,3 +164,45 @@ class TestCli:
         )
         assert code == 0
         assert "ok" in capsys.readouterr().out
+
+
+class TestCompletionTolerance:
+    """Schema-3 ``completion`` fields vs schema-2 float-p baselines."""
+
+    def test_schema2_baseline_matches_schema3_bernoulli(self):
+        old = _report(0.1)  # schema 2: only a float p
+        new = _report(0.1, schema=3, completion="bernoulli:0.7")
+        comparison = compare_bench(old, new)
+        assert comparison.ok
+
+    def test_value_drift_still_detected_across_schemas(self):
+        old = _report(0.1)
+        new = _report(0.1, mc_mean=11.0, schema=3, completion="bernoulli:0.7")
+        comparison = compare_bench(old, new)
+        assert any(
+            "mean_cycles" in drift for drift in comparison.value_drifts
+        )
+
+    def test_different_completions_diff_on_timings_only(self):
+        old = _report(0.1)
+        new = _report(
+            0.1,
+            mc_mean=12.5,
+            exact_value=9.9,
+            schema=3,
+            completion="markov:0.7,0.5",
+        )
+        new["p"] = "markov:0.7,0.5"
+        comparison = compare_bench(old, new)
+        assert not comparison.value_drifts
+        assert comparison.ok
+
+    def test_report_completion_derives_bernoulli_from_float_p(self):
+        from repro.perf.bench import _report_completion
+
+        assert _report_completion({"p": 0.7}) == "bernoulli:0.7"
+        assert _report_completion({"p": 0.7, "completion": "x"}) == "x"
+        assert (
+            _report_completion({"p": "markov:0.7,0.5"}) == "markov:0.7,0.5"
+        )
+        assert _report_completion({}) is None

@@ -1,0 +1,150 @@
+"""Tests for the seeded parametric DFG-family generator (``gen:``)."""
+
+import pytest
+
+from repro.api import synthesize
+from repro.benchmarks.generate import (
+    FamilySpec,
+    family_allocation_spec,
+    generate_dfg,
+    parse_family,
+)
+from repro.benchmarks.registry import benchmark, core_benchmark_names
+from repro.errors import ReproError
+from repro.serialize import dfg_to_dict
+
+CANONICAL = "gen:ops=12,depth=4,fanout=2,mix=2-2-1,pressure=3,seed=0"
+
+
+# ----------------------------------------------------------------------
+# Name grammar
+# ----------------------------------------------------------------------
+def test_defaults_and_canonical_name():
+    assert FamilySpec().name == CANONICAL
+    assert parse_family("gen:").name == CANONICAL
+
+
+def test_parse_any_key_order_canonicalizes():
+    spec = parse_family("gen:seed=3,ops=20,depth=5")
+    assert spec.name == (
+        "gen:ops=20,depth=5,fanout=2,mix=2-2-1,pressure=3,seed=3"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "gen",  # missing colon
+        "gen:bogus=1",  # unknown key
+        "gen:ops",  # missing '='
+        "gen:ops=x",  # non-integer
+        "gen:ops=1",  # below minimum
+        "gen:ops=64",  # beyond the batch engine's 63-op mask
+        "gen:depth=0",
+        "gen:ops=4,depth=5",  # depth > ops
+        "gen:fanout=0",
+        "gen:pressure=0",
+        "gen:mix=0-0-0",  # no positive weight
+        "gen:mix=1-2",  # wrong arity
+        "gen:mix=a-b-c",
+    ],
+)
+def test_parse_rejects_invalid(name):
+    with pytest.raises(ReproError):
+        parse_family(name)
+
+
+# ----------------------------------------------------------------------
+# Determinism and shape
+# ----------------------------------------------------------------------
+def test_generation_is_deterministic():
+    spec = parse_family("gen:ops=20,depth=5,seed=2,fanout=3")
+    assert dfg_to_dict(generate_dfg(spec)) == dfg_to_dict(
+        generate_dfg(spec)
+    )
+
+
+def test_different_seeds_differ():
+    a = dfg_to_dict(generate_dfg(parse_family("gen:seed=0")))
+    b = dfg_to_dict(generate_dfg(parse_family("gen:seed=1")))
+    assert a != b
+
+
+def test_op_count_matches_spec():
+    for name in ("gen:", "gen:ops=7,depth=3", "gen:ops=30,depth=6,seed=5"):
+        spec = parse_family(name)
+        dfg = generate_dfg(spec)
+        assert len(list(dfg)) == spec.ops
+
+
+def test_fanout_budget_respected():
+    spec = parse_family("gen:ops=24,depth=6,fanout=1,seed=3")
+    dfg = generate_dfg(spec)
+    consumers: dict[str, int] = {}
+    for op in dfg:
+        for operand in op.operands:
+            producer = getattr(operand, "op", None)
+            if producer is not None:
+                consumers[producer] = consumers.get(producer, 0) + 1
+    assert consumers and max(consumers.values()) <= spec.fanout
+
+
+def test_allocation_spec_tracks_pressure():
+    spec = parse_family("gen:seed=1")
+    allocation = family_allocation_spec(spec)
+    assert "T" in allocation  # multipliers stay telescopic
+    # higher pressure never yields more units
+    relaxed = family_allocation_spec(parse_family("gen:seed=1,pressure=1"))
+
+    def units(text):
+        return sum(
+            int("".join(ch for ch in part.split(":")[1] if ch.isdigit()))
+            for part in text.split(",")
+        )
+
+    assert units(allocation) <= units(relaxed)
+
+
+# ----------------------------------------------------------------------
+# Registry integration
+# ----------------------------------------------------------------------
+def test_registry_materializes_and_canonicalizes():
+    entry = benchmark("gen:seed=1")
+    assert entry.name.startswith("gen:ops=")
+    assert entry.generated
+    assert benchmark(entry.name) is entry  # registered once, reused
+
+
+def test_generated_families_stay_out_of_core_list():
+    benchmark("gen:seed=9")
+    assert not any(
+        name.startswith("gen:") for name in core_benchmark_names()
+    )
+    from repro.perf.bench import CORE_BENCHMARKS
+
+    assert CORE_BENCHMARKS == core_benchmark_names()
+
+
+def test_unknown_fixed_benchmark_mentions_families():
+    with pytest.raises(ReproError, match="gen:"):
+        benchmark("nope")
+
+
+# ----------------------------------------------------------------------
+# End-to-end: synthesize, simulate, lint — zero special-casing
+# ----------------------------------------------------------------------
+def test_generated_family_synthesizes_and_simulates():
+    entry = benchmark("gen:ops=14,depth=4,seed=7")
+    result = synthesize(entry.dfg(), entry.allocation())
+    stats = result.monte_carlo_latency(
+        p="per-unit:mul=0.9,*=0.5", trials=30, seed=0
+    )
+    assert stats.mean > 0
+
+
+def test_generated_family_passes_lint_gate():
+    from repro.verify import gate_report, lint_benchmark
+
+    report = lint_benchmark("gen:ops=14,depth=4,seed=7")
+    gate = gate_report(report, None)
+    assert gate.passed, gate.render()

@@ -137,6 +137,7 @@ class TestCutLimit:
         assert info.value.context() == {
             "cut_width": info.value.cut_width,
             "limit": 0,
+            "reason": None,
         }
 
     def test_expected_latency_refuses_silent_fallback(self):

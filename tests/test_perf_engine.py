@@ -323,10 +323,13 @@ class TestBench:
         )
         assert isinstance(report, BenchReport)
         assert report.data["quick"] is True
-        assert report.data["schema"] == 2
+        assert report.data["schema"] == 3
+        assert report.data["p"] == 0.7
+        assert report.data["completion"] == "bernoulli:0.7"
         assert list(report.data["benchmarks"]) == ["fig3"]
         row = report.data["benchmarks"]["fig3"]
         mc = row["monte_carlo"]
+        assert mc["completion"] == "bernoulli:0.7"
         assert mc["trials"] == 16
         assert mc["serial_s"] > 0 and mc["parallel_s"] > 0
         assert mc["speedup"] == pytest.approx(
