@@ -188,6 +188,33 @@ class SynthesisResult:
             f"'cent-sync' or 'cent'"
         )
 
+    def model_check(
+        self,
+        name: "str | None" = None,
+        max_states: int = 200_000,
+        max_frontier: int = 100_000,
+    ):
+        """Model-check the composed distributed controller network.
+
+        Explores every reachable state of the network under all
+        realizable telescopic completion schedules and proves the
+        MC-DEAD (no reachable deadlock), MC-RACE (no completion-pulse
+        race) and MC-REF (refinement against the CENT-SYNC
+        specification) rule families — see
+        :mod:`repro.verify.modelcheck`.  Returns a
+        :class:`~repro.verify.modelcheck.ModelCheckResult` whose report
+        is byte-stable and whose counterexamples replay in the
+        simulator.
+        """
+        from .verify.modelcheck import check_result
+
+        return check_result(
+            self,
+            name=name,
+            max_states=max_states,
+            max_frontier=max_frontier,
+        )
+
     def fault_campaign(
         self,
         trials: int = 100,

@@ -25,6 +25,11 @@ Gives the library's main flows a shell-level surface::
     python -m repro lint fig2 fdct --format json -o lint.json
     python -m repro lint --write-baseline
     python -m repro lint --check-baseline --fail-on warning
+    python -m repro lint --jobs 4
+    python -m repro check
+    python -m repro check fir5 diffeq --format json -o check.json
+    python -m repro check --check-baseline --jobs 4
+    python -m repro check fir5 --max-states 50000
 
 Long-running commands (``faults``, ``experiments``, ``bench``,
 ``table2``) accept ``--checkpoint-dir DIR``: completed trials are
@@ -62,7 +67,10 @@ from .resources.spec import (
 )
 from .sim.simulator import simulate
 from .sim.vcd import trace_to_vcd
-from .verify.baseline import DEFAULT_BASELINE_DIR
+from .verify.baseline import (
+    DEFAULT_BASELINE_DIR,
+    DEFAULT_CHECK_BASELINE_DIR,
+)
 
 
 #: name of the invocation record ``--checkpoint-dir`` writes
@@ -523,13 +531,40 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _lint_worker(item):
+    """Module-level lint worker: (name, allocation, scheduler) → report.
+
+    Must stay importable so ``--jobs`` can pickle it onto the process
+    pool; :func:`~repro.perf.engine.parallel_map` preserves item order,
+    keeping the combined output byte-identical to a serial run.
+    """
+    name, allocation, scheduler = item
+    from .verify import lint_benchmark
+
+    return lint_benchmark(name, allocation=allocation, scheduler=scheduler)
+
+
+def _check_worker(item):
+    """Module-level model-check worker for ``repro check --jobs``."""
+    name, allocation, scheduler, max_states, max_frontier = item
+    from .verify.modelcheck import check_benchmark
+
+    return check_benchmark(
+        name,
+        allocation=allocation,
+        scheduler=scheduler,
+        max_states=max_states,
+        max_frontier=max_frontier,
+    )
+
+
 def _cmd_lint(args) -> int:
     import dataclasses
     import json
 
+    from .perf.engine import parallel_map
     from .verify import (
         gate_report,
-        lint_benchmark,
         load_baseline,
         write_baseline,
     )
@@ -544,12 +579,11 @@ def _cmd_lint(args) -> int:
             file=sys.stderr,
         )
         return 2
-    reports = [
-        lint_benchmark(
-            name, allocation=args.allocation, scheduler=args.scheduler
-        )
-        for name in names
-    ]
+    reports = parallel_map(
+        _lint_worker,
+        [(name, args.allocation, args.scheduler) for name in names],
+        workers=args.jobs,
+    )
     if args.write_baseline:
         for report in reports:
             path = write_baseline(args.baseline_dir, report)
@@ -584,6 +618,105 @@ def _cmd_lint(args) -> int:
         parts = []
         for report, gate in zip(reports, gates):
             parts.append(report.render())
+            parts.append(gate.render())
+        out = "\n".join(parts) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(out)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(out, end="")
+    failed = [g for g in gates if not g.passed]
+    for gate in failed:
+        if args.format == "json" or args.output:
+            print(gate.render(), file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_check(args) -> int:
+    import dataclasses
+    import json
+
+    from .perf.engine import parallel_map
+    from .verify import (
+        gate_report,
+        load_baseline,
+        write_baseline,
+    )
+    from .verify.baseline import baseline_path
+
+    names = list(args.benchmarks) or [
+        entry.name for entry in all_benchmarks()
+    ]
+    if args.allocation and len(names) != 1:
+        print(
+            "error: --allocation requires exactly one benchmark",
+            file=sys.stderr,
+        )
+        return 2
+    results = parallel_map(
+        _check_worker,
+        [
+            (
+                name,
+                args.allocation,
+                args.scheduler,
+                args.max_states,
+                args.max_frontier,
+            )
+            for name in names
+        ],
+        workers=args.jobs,
+    )
+    reports = [result.report for result in results]
+    if args.write_baseline:
+        for report in reports:
+            path = write_baseline(args.baseline_dir, report)
+            print(f"wrote baseline {path}", file=sys.stderr)
+    gates = []
+    for report in reports:
+        baseline = load_baseline(args.baseline_dir, report.design)
+        gate = gate_report(report, baseline, fail_on=args.fail_on)
+        if args.check_baseline:
+            path = baseline_path(args.baseline_dir, report.design)
+            stable = (
+                path.is_file()
+                and path.read_text(encoding="utf-8")
+                == report.to_json() + "\n"
+            )
+            gate = dataclasses.replace(gate, byte_stable=stable)
+        gates.append(gate)
+    if args.format == "json":
+        out = (
+            json.dumps(
+                {
+                    "format": 1,
+                    "reports": [
+                        {
+                            "design": result.design,
+                            "states": result.states,
+                            "transitions": result.transitions,
+                            "accepting": result.accepting,
+                            "max_depth": result.max_depth,
+                            "report": result.report.to_dict(),
+                            "counterexamples": [
+                                cex.to_dict()
+                                for cex in result.counterexamples
+                            ],
+                        }
+                        for result in results
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+                separators=(",", ": "),
+            )
+            + "\n"
+        )
+    else:
+        parts = []
+        for result, gate in zip(results, gates):
+            parts.append(result.render())
             parts.append(gate.render())
         out = "\n".join(parts) + "\n"
     if args.output:
@@ -1215,7 +1348,116 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: error; never = baseline/byte checks only)"
         ),
     )
+    p_lint.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "lint benchmarks on N worker processes; output is "
+            "byte-identical to a serial run (default: 1)"
+        ),
+    )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_check = sub.add_parser(
+        "check",
+        help=(
+            "explicit-state model checking of the composed distributed "
+            "controller network (MC-DEAD / MC-RACE / MC-REF)"
+        ),
+    )
+    p_check.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="BENCHMARK",
+        help="benchmark names (default: every registered benchmark)",
+    )
+    p_check.add_argument(
+        "--allocation",
+        help=(
+            'allocation spec, e.g. "mul:2T,add:1"; requires exactly '
+            "one benchmark (default: paper allocation)"
+        ),
+    )
+    p_check.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS.names(),
+        default="list",
+        help="time-step scheduler from the registry (default: list)",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_check.add_argument(
+        "-o",
+        "--output",
+        help="write the combined report here instead of stdout",
+    )
+    p_check.add_argument(
+        "--baseline-dir",
+        default=DEFAULT_CHECK_BASELINE_DIR,
+        metavar="DIR",
+        help=(
+            f"committed baselines "
+            f"(default: {DEFAULT_CHECK_BASELINE_DIR})"
+        ),
+    )
+    p_check.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the fresh reports as the new baselines",
+    )
+    p_check.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help=(
+            "additionally require each baseline file to be "
+            "byte-identical to the fresh report (CI drift gate)"
+        ),
+    )
+    p_check.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help=(
+            "minimum severity of a NEW finding that fails the run "
+            "(default: error; never = baseline/byte checks only)"
+        ),
+    )
+    p_check.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help=(
+            "state budget; exceeding it raises a structured "
+            "ModelCheckBudgetExceeded (default: 200000)"
+        ),
+    )
+    p_check.add_argument(
+        "--max-frontier",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="BFS frontier budget (default: 100000)",
+    )
+    p_check.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "model-check benchmarks on N worker processes; output is "
+            "byte-identical to a serial run (default: 1)"
+        ),
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_fab = sub.add_parser(
         "fabric",

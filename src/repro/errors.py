@@ -147,6 +147,41 @@ class ExactAnalysisError(SimulationError):
         }
 
 
+class ModelCheckBudgetExceeded(SimulationError):
+    """Explicit-state model checking exceeded its exploration budget.
+
+    Raised by :mod:`repro.verify.modelcheck` when the reachable state
+    count passes ``max_states`` or the BFS frontier passes
+    ``max_frontier`` — the structured escape hatch that lets callers
+    distinguish "the design is too large for this budget" from "the
+    design has a violation".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        states: "int | None" = None,
+        frontier: "int | None" = None,
+        limit: "int | None" = None,
+        reason: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.states = states
+        self.frontier = frontier
+        self.limit = limit
+        self.reason = reason
+
+    def context(self) -> "dict[str, object]":
+        """JSON-serializable description of the exhausted budget."""
+        return {
+            "states": self.states,
+            "frontier": self.frontier,
+            "limit": self.limit,
+            "reason": self.reason,
+        }
+
+
 class VerificationError(SimulationError):
     """End-to-end datapath verification found wrong result values.
 

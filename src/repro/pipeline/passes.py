@@ -156,6 +156,24 @@ def _run_verify(store, options, diagnostics):
     return {}
 
 
+def _run_model_check(store, options, diagnostics):
+    from ..verify.modelcheck import check_store
+
+    result = check_store(
+        store,
+        name=options.get("design") or None,
+        max_states=options["max_states"],
+        max_frontier=options["max_frontier"],
+    )
+    diagnostics.extend(d.to_dict() for d in result.report.diagnostics)
+    if options.get("strict") and result.report.has_errors:
+        raise PipelineError(
+            f"model-check: {result.report.count('error')} error "
+            f"finding(s) on design {result.report.design!r}"
+        )
+    return {}
+
+
 def _run_cent_fsms(store, options, diagnostics):
     bound = store.get("bound")
     taubm = store.get("taubm")
@@ -331,6 +349,31 @@ VERIFY = Pass(
     from_payload=_verify_unpayload,
 )
 
+MODEL_CHECK = Pass(
+    name="model-check",
+    requires=(
+        "dfg",
+        "allocation",
+        "schedule",
+        "order",
+        "bound",
+        "taubm",
+        "distributed",
+    ),
+    provides=(),
+    run=_run_model_check,
+    summary="explicit-state reachability over the composed network "
+    "(MC-DEAD / MC-RACE / MC-REF)",
+    defaults={
+        "strict": False,
+        "design": "",
+        "max_states": 200_000,
+        "max_frontier": 100_000,
+    },
+    to_payload=_verify_payload,
+    from_payload=_verify_unpayload,
+)
+
 CENT_FSMS = Pass(
     name="cent-fsms",
     requires=("bound", "taubm"),
@@ -352,6 +395,7 @@ def synthesis_passes() -> tuple[Pass, ...]:
         TAUBM,
         DISTRIBUTED,
         VERIFY,
+        MODEL_CHECK,
         CENT_FSMS,
     )
 

@@ -167,6 +167,32 @@ class ControllerSystem:
                     edges.append((key, consumer, producer))
         return tuple(edges)
 
+    def pulse_emitters(
+        self,
+        config: SystemConfig,
+        unit_completions: Mapping[str, bool],
+    ) -> dict[str, tuple[str, ...]]:
+        """Which controller(s) emit each ``CC`` pulse this cycle.
+
+        Mirrors pass 1 of :meth:`step` (flag-only CC inputs — sound
+        because outputs never depend on CC inputs) without advancing any
+        state.  The result maps the pulsed operation to the emitting
+        controller keys, in key order; a healthy network never has two
+        emitters for one operation in the same cycle, which is exactly
+        what the model checker's MC-RACE rule looks for.
+        """
+        emitters: dict[str, tuple[str, ...]] = {}
+        for key, state in zip(self._keys, config.states):
+            inputs = self._inputs_for(
+                key, state, config.flags, frozenset(), unit_completions
+            )
+            transition = self._fsms[key].step(state, inputs)
+            for signal in transition.outputs:
+                if is_op_completion(signal):
+                    op = op_of_completion(signal)
+                    emitters[op] = emitters.get(op, ()) + (key,)
+        return emitters
+
     def all_ops(self) -> frozenset[str]:
         """Every operation some controller starts or completes."""
         ops: set[str] = set()

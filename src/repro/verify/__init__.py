@@ -8,12 +8,21 @@ TAUBM consistency and RTL netlist hygiene.  Findings are structured
 :class:`Diagnostic` records with byte-stable JSON reports, wired into
 the synthesis pipeline (``verify-artifacts`` pass), the CLI
 (``repro lint``) and CI (baseline gates).
+
+Phase 2 (:mod:`.modelcheck`) goes beyond per-artifact structure: an
+explicit-state reachability engine explores the *composed* controller
+network under all realizable completion schedules and proves the
+MC-DEAD / MC-RACE / MC-REF families, rendering violations as the same
+byte-stable diagnostics plus replayable counterexample stimulus
+(``repro check``, the ``model-check`` pipeline pass and the
+``baselines/check`` CI gate).
 """
 
 from __future__ import annotations
 
 from .baseline import (
     DEFAULT_BASELINE_DIR,
+    DEFAULT_CHECK_BASELINE_DIR,
     GateResult,
     gate_report,
     load_baseline,
@@ -32,6 +41,16 @@ from .engine import (
     lint_target,
 )
 from .fsm_checks import lint_fsm
+from .modelcheck import (
+    DEFAULT_MAX_FRONTIER,
+    DEFAULT_MAX_STATES,
+    MCState,
+    ModelCheckResult,
+    check_benchmark,
+    check_result,
+    check_store,
+    check_target,
+)
 from .rules import RULES, Rule, rule, rule_table
 from .selftest import (
     STRUCTURAL_FAULTS,
@@ -45,16 +64,25 @@ from .target import LintTarget
 
 __all__ = [
     "DEFAULT_BASELINE_DIR",
+    "DEFAULT_CHECK_BASELINE_DIR",
+    "DEFAULT_MAX_FRONTIER",
+    "DEFAULT_MAX_STATES",
     "Diagnostic",
     "DiagnosticReport",
     "GateResult",
     "LintTarget",
+    "MCState",
+    "ModelCheckResult",
     "RULES",
     "Rule",
     "SEVERITIES",
     "STRUCTURAL_FAULTS",
     "SelftestOutcome",
     "StructuralFault",
+    "check_benchmark",
+    "check_result",
+    "check_store",
+    "check_target",
     "covered_fault_kinds",
     "gate_report",
     "injector_fault_kinds",

@@ -21,8 +21,11 @@ from .diagnostics import (
     severity_rank,
 )
 
-#: repository-relative default location of committed baselines.
+#: repository-relative default location of committed lint baselines.
 DEFAULT_BASELINE_DIR = "baselines/lint"
+
+#: repository-relative default location of model-check baselines.
+DEFAULT_CHECK_BASELINE_DIR = "baselines/check"
 
 
 def baseline_path(directory: "str | Path", design: str) -> Path:

@@ -143,6 +143,36 @@ RULES: tuple[Rule, ...] = (
         "in its step and the TAUBM steps partition the schedule",
         "paper §2.3 / Fig. 2(b) (TAUBM)",
     ),
+    # -- model checking (composed-network reachability family) -----------
+    Rule(
+        "MC-DEAD", "error",
+        "reachable quiescent-but-incomplete network state",
+        "under every interleaving of telescopic completion levels, the "
+        "composed controller network always reaches the state where all "
+        "operations of the iteration completed — no reachable deadlock "
+        "or livelock, generalizing the runtime deadlock watchdog to all "
+        "completion schedules",
+        "paper §4.2 (handshake liveness), explicit-state reachability",
+    ),
+    Rule(
+        "MC-RACE", "error",
+        "completion-pulse race in a reachable network state",
+        "no reachable cycle has two controllers asserting the same CC "
+        "net, nor a pulse landing on an already-latched unconsumed "
+        "arrival flag of a still-pending consumer — the reachability "
+        "counterpart of the structural LIVE002/LIVE004 checks",
+        "paper §4.1 (completion-signal netlist), token semantics",
+    ),
+    Rule(
+        "MC-REF", "error",
+        "distributed firing sequence refused by the CENT-SYNC spec",
+        "every reachable firing sequence of the distributed network is "
+        "accepted by the centralized synchronized specification: no "
+        "operation starts before its execution-graph predecessors "
+        "completed, completes twice in one iteration, completes while "
+        "its unit's CSG reports not-done, or double-books its unit",
+        "paper §4 (DIST ≡ CENT under reordering), trace refinement",
+    ),
     # -- RTL lint --------------------------------------------------------
     Rule(
         "RTL000", "error",

@@ -52,22 +52,35 @@ def injector_fault_kinds() -> frozenset[str]:
 
 @dataclass(frozen=True)
 class StructuralFault:
-    """One fault kind's structural shadow and the rule that catches it."""
+    """One fault kind's structural shadow and the rule that catches it.
+
+    ``mc_rule_id`` additionally pins the model-check rule the composed
+    network exploration must fire on the corrupted bundle — set for the
+    fault kinds whose corruption is *behavioral* (visible only in the
+    product state space); artifact-level corruptions (schedule, TAUBM,
+    unreachable states) stay the lint rules' job.
+    """
 
     kind: str
     rule_id: str
     description: str
     mutate: Callable[[LintTarget], LintTarget]
+    mc_rule_id: "str | None" = None
 
 
 @dataclass(frozen=True)
 class SelftestOutcome:
-    """Result of one structural-fault injection."""
+    """Result of one structural-fault injection.
+
+    ``mc_detected`` is ``None`` when the fault has no pinned model-check
+    rule or the model checker was not run.
+    """
 
     kind: str
     rule_id: str
     detected: bool
     report: DiagnosticReport
+    mc_detected: "bool | None" = None
 
 
 # ---------------------------------------------------------------------
@@ -235,6 +248,7 @@ STRUCTURAL_FAULTS: tuple[StructuralFault, ...] = (
         description="CSG wait path missing: incomplete guards wedge "
         "the controller",
         mutate=_wedge_wait_state,
+        mc_rule_id="MC-DEAD",
     ),
     StructuralFault(
         kind="delayed-completion",
@@ -249,6 +263,7 @@ STRUCTURAL_FAULTS: tuple[StructuralFault, ...] = (
         description="consumed completion net with no producer starves "
         "its consumers",
         mutate=_drop_producer_output,
+        mc_rule_id="MC-DEAD",
     ),
     StructuralFault(
         kind="spurious-pulse",
@@ -256,6 +271,7 @@ STRUCTURAL_FAULTS: tuple[StructuralFault, ...] = (
         description="completion net with two producers pulses "
         "spuriously",
         mutate=_add_spurious_producer,
+        mc_rule_id="MC-RACE",
     ),
     StructuralFault(
         kind="state-flip",
@@ -277,11 +293,17 @@ def covered_fault_kinds() -> frozenset[str]:
     return frozenset(f.kind for f in STRUCTURAL_FAULTS)
 
 
-def run_selftest(target: LintTarget) -> tuple[SelftestOutcome, ...]:
+def run_selftest(
+    target: LintTarget, model_check: bool = False
+) -> tuple[SelftestOutcome, ...]:
     """Inject every structural fault into the target and lint it.
 
     The clean target must lint without error-severity findings first;
     each corrupted bundle must then be flagged by its pinned rule.
+    With ``model_check`` the faults carrying an ``mc_rule_id`` are
+    additionally run through the composed-network model checker (which
+    must also be clean on the uncorrupted target), and ``mc_detected``
+    records whether the pinned MC rule fired.
     """
     clean = lint_target(target)
     if clean.has_errors:
@@ -289,16 +311,32 @@ def run_selftest(target: LintTarget) -> tuple[SelftestOutcome, ...]:
             f"self-test target {target.name!r} is not clean:\n"
             f"{clean.render()}"
         )
+    if model_check:
+        from .modelcheck import check_target
+
+        mc_clean = check_target(target)
+        if not mc_clean.clean:
+            raise VerificationError(
+                f"self-test target {target.name!r} fails model "
+                f"checking:\n{mc_clean.report.render()}"
+            )
     outcomes = []
     for fault in STRUCTURAL_FAULTS:
         corrupted = fault.mutate(target)
         report = lint_target(corrupted)
+        mc_detected: "bool | None" = None
+        if model_check and fault.mc_rule_id is not None:
+            from .modelcheck import check_target
+
+            mc_report = check_target(corrupted).report
+            mc_detected = fault.mc_rule_id in mc_report.rules_fired()
         outcomes.append(
             SelftestOutcome(
                 kind=fault.kind,
                 rule_id=fault.rule_id,
                 detected=fault.rule_id in report.rules_fired(),
                 report=report,
+                mc_detected=mc_detected,
             )
         )
     return tuple(outcomes)

@@ -98,7 +98,8 @@ class TestPassManager:
     def test_pass_names_in_order(self):
         assert PassManager().pass_names() == (
             "validate", "schedule", "order", "bind", "taubm",
-            "distributed", "verify-artifacts", "cent-fsms",
+            "distributed", "verify-artifacts", "model-check",
+            "cent-fsms",
         )
 
     def test_unknown_upto_rejected(self):

@@ -190,17 +190,35 @@ def test_design_serialization_round_trip(dfg, spec):
 @SETTINGS
 @given(random_dfgs, allocations)
 def test_throughput_bound_is_lower_bound(dfg, spec):
-    """Property: simulated pipelined throughput never beats λ*."""
+    """Property: simulated pipelined throughput never beats λ*.
+
+    λ* is asymptotic; a finite first-to-last window can average below it
+    when the critical cycle spans t > 1 iterations (short and long
+    inter-finish gaps interleave within one period, and the first finish
+    lags the steady-state schedule by the pipeline fill).  The sound
+    finite-horizon form is on absolute finishes: each traversal of the
+    critical cycle (t iterations) costs its full duration d, so
+    F(k) >= floor((k - 1) / t) * d + 1.
+    """
     from repro.analysis import pipelined_throughput_bound
     from repro.resources import AllFastCompletion
     from repro.sim import pipelined_throughput
 
+    iterations = 6
     result = synthesize(dfg, spec)
     bound = pipelined_throughput_bound(result.bound, fast=True)
-    __, throughput = pipelined_throughput(
+    sim, throughput = pipelined_throughput(
         result.distributed_system(),
         result.bound,
         AllFastCompletion(),
-        iterations=6,
+        iterations=iterations,
     )
-    assert throughput >= float(bound.cycles_per_iteration) - 1e-9
+    lam = float(bound.cycles_per_iteration)
+    cycle_cycles = sum(
+        result.bound.duration_cycles(op, True) for op in bound.critical_cycle
+    )
+    tokens = max(1, round(cycle_cycles / lam))
+    forced = ((iterations - 1) // tokens) * cycle_cycles + 1
+    assert sim.iteration_finish_cycles[-1] >= forced
+    # The windowed average still may not beat λ* by a full period.
+    assert throughput >= lam - cycle_cycles / (iterations - 1) - 1e-9
